@@ -1,0 +1,104 @@
+// Package perf models the Intel Performance Monitoring Counters (PMCs)
+// the paper programs through a helper kernel module. The eviction-set
+// sizing algorithms (paper Algorithm 1 and its LLC analogue) read these
+// counters as ground truth for whether a target access really missed the
+// TLB or the last-level cache.
+package perf
+
+import "fmt"
+
+// Event identifies one countable microarchitectural event. The names
+// mirror the Intel event mnemonics used in the paper.
+type Event int
+
+const (
+	// DTLBLoadMissesWalk counts loads that missed all TLB levels and
+	// caused a page walk (dtlb_load_misses.miss_causes_a_walk).
+	DTLBLoadMissesWalk Event = iota
+	// DTLBLoadMissesL1 counts loads that missed only the first-level TLB.
+	DTLBLoadMissesL1
+	// LongestLatCacheMiss counts last-level cache misses
+	// (longest_lat_cache.miss).
+	LongestLatCacheMiss
+	// LLCReference counts LLC lookups.
+	LLCReference
+	// DRAMActivate counts DRAM row activations (ACT commands).
+	DRAMActivate
+	// DRAMRowConflicts counts row-buffer conflicts.
+	DRAMRowConflicts
+	// PageWalkCompleted counts completed hardware page walks.
+	PageWalkCompleted
+	// PSCacheHit counts partial translations served by paging-structure
+	// caches.
+	PSCacheHit
+	// L1PTEMemoryFetch counts level-1 page-table entries fetched from
+	// DRAM (the implicit hammer accesses PThammer relies on).
+	L1PTEMemoryFetch
+
+	numEvents
+)
+
+// String returns the Intel-style mnemonic for the event.
+func (e Event) String() string {
+	switch e {
+	case DTLBLoadMissesWalk:
+		return "dtlb_load_misses.miss_causes_a_walk"
+	case DTLBLoadMissesL1:
+		return "dtlb_load_misses.stlb_hit"
+	case LongestLatCacheMiss:
+		return "longest_lat_cache.miss"
+	case LLCReference:
+		return "longest_lat_cache.reference"
+	case DRAMActivate:
+		return "dram.activate"
+	case DRAMRowConflicts:
+		return "dram.row_conflict"
+	case PageWalkCompleted:
+		return "page_walker.walks_completed"
+	case PSCacheHit:
+		return "page_walker.pscache_hit"
+	case L1PTEMemoryFetch:
+		return "page_walker.l1pte_memory_fetch"
+	default:
+		return fmt.Sprintf("perf.Event(%d)", int(e))
+	}
+}
+
+// Counters is a bank of event counters. The zero value is ready to use.
+type Counters struct {
+	counts [numEvents]uint64
+}
+
+// Inc adds one to the event's counter.
+func (c *Counters) Inc(e Event) { c.counts[e]++ }
+
+// Add adds n to the event's counter.
+func (c *Counters) Add(e Event, n uint64) { c.counts[e] += n }
+
+// Read returns the current value of the event's counter.
+func (c *Counters) Read(e Event) uint64 { return c.counts[e] }
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	for i := range c.counts {
+		c.counts[i] = 0
+	}
+}
+
+// Snapshot captures all counter values, for delta measurements around a
+// profiled operation.
+func (c *Counters) Snapshot() Snapshot {
+	var s Snapshot
+	s.counts = c.counts
+	return s
+}
+
+// Snapshot is an immutable copy of the counter bank.
+type Snapshot struct {
+	counts [numEvents]uint64
+}
+
+// Delta returns how much the event advanced since the snapshot was taken.
+func (s Snapshot) Delta(c *Counters, e Event) uint64 {
+	return c.counts[e] - s.counts[e]
+}

@@ -1,0 +1,176 @@
+// Package phys models the machine's physical memory as a sparse array of
+// 4 KiB frames. Frames are allocated lazily on first touch, so an 8 GiB
+// machine costs host memory only for the frames the simulation actually
+// writes. All simulated state that must survive a rowhammer bit flip —
+// most importantly page tables — lives in these bytes: the DRAM flip
+// engine mutates them directly and the MMU later reads the corrupted
+// values back, exactly as on real hardware.
+package phys
+
+import "fmt"
+
+// FrameSize is the size of a physical frame in bytes (x86 4 KiB pages).
+const FrameSize = 4096
+
+// FrameShift is log2(FrameSize).
+const FrameShift = 12
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// Frame is a physical frame number (Addr >> FrameShift).
+type Frame uint64
+
+// Addr returns the base physical address of the frame.
+func (f Frame) Addr() Addr { return Addr(f) << FrameShift }
+
+// FrameOf returns the frame containing the physical address.
+func FrameOf(a Addr) Frame { return Frame(a >> FrameShift) }
+
+// Offset returns the offset of the address within its frame.
+func Offset(a Addr) uint64 { return uint64(a) & (FrameSize - 1) }
+
+// Memory is a sparse physical memory of a fixed size. The zero value is
+// not usable; create one with New.
+type Memory struct {
+	size   uint64
+	frames map[Frame]*[FrameSize]byte
+	// writes counts byte-granularity stores, used by tests to assert
+	// that simulated devices really touch memory.
+	writes uint64
+}
+
+// New creates a physical memory of size bytes. Size must be a non-zero
+// multiple of FrameSize.
+func New(size uint64) (*Memory, error) {
+	if size == 0 || size%FrameSize != 0 {
+		return nil, fmt.Errorf("phys: size %d is not a positive multiple of %d", size, FrameSize)
+	}
+	return &Memory{size: size, frames: make(map[Frame]*[FrameSize]byte)}, nil
+}
+
+// MustNew is New but panics on error; intended for tests and presets with
+// statically known sizes.
+func MustNew(size uint64) *Memory {
+	m, err := New(size)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Size returns the capacity of the memory in bytes.
+func (m *Memory) Size() uint64 { return m.size }
+
+// Frames returns the number of physical frames.
+func (m *Memory) Frames() uint64 { return m.size / FrameSize }
+
+// Contains reports whether the address is inside the memory.
+func (m *Memory) Contains(a Addr) bool { return uint64(a) < m.size }
+
+// frame returns the backing array for f, allocating it (zeroed) on first
+// touch. Panics if f is out of range: callers are simulated hardware, and
+// an out-of-range physical access is a simulator bug, not a runtime
+// condition to handle.
+func (m *Memory) frame(f Frame) *[FrameSize]byte {
+	if uint64(f) >= m.Frames() {
+		panic(fmt.Sprintf("phys: frame %#x out of range (%d frames)", uint64(f), m.Frames()))
+	}
+	fr, ok := m.frames[f]
+	if !ok {
+		fr = new([FrameSize]byte)
+		m.frames[f] = fr
+	}
+	return fr
+}
+
+// Materialized returns how many frames have been lazily allocated so far.
+func (m *Memory) Materialized() int { return len(m.frames) }
+
+// ReadByte returns the byte at physical address a.
+func (m *Memory) ReadByte(a Addr) byte {
+	return m.frame(FrameOf(a))[Offset(a)]
+}
+
+// WriteByte stores b at physical address a.
+func (m *Memory) WriteByte(a Addr, b byte) {
+	m.frame(FrameOf(a))[Offset(a)] = b
+	m.writes++
+}
+
+// Read64 loads a little-endian 64-bit value. The address must be 8-byte
+// aligned (page-table entries always are).
+func (m *Memory) Read64(a Addr) uint64 {
+	if a&7 != 0 {
+		panic(fmt.Sprintf("phys: unaligned 64-bit read at %#x", uint64(a)))
+	}
+	fr := m.frame(FrameOf(a))
+	off := Offset(a)
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(fr[off+i]) << (8 * i)
+	}
+	return v
+}
+
+// Write64 stores a little-endian 64-bit value. The address must be 8-byte
+// aligned.
+func (m *Memory) Write64(a Addr, v uint64) {
+	if a&7 != 0 {
+		panic(fmt.Sprintf("phys: unaligned 64-bit write at %#x", uint64(a)))
+	}
+	fr := m.frame(FrameOf(a))
+	off := Offset(a)
+	for i := uint64(0); i < 8; i++ {
+		fr[off+i] = byte(v >> (8 * i))
+	}
+	m.writes += 8
+}
+
+// ReadFrame copies the contents of frame f into dst and returns the number
+// of bytes copied (always FrameSize when dst is large enough).
+func (m *Memory) ReadFrame(f Frame, dst []byte) int {
+	return copy(dst, m.frame(f)[:])
+}
+
+// WriteFrame copies src into frame f starting at offset 0.
+func (m *Memory) WriteFrame(f Frame, src []byte) int {
+	n := copy(m.frame(f)[:], src)
+	m.writes += uint64(n)
+	return n
+}
+
+// ZeroFrame clears frame f. The kernel uses this when handing out pages.
+func (m *Memory) ZeroFrame(f Frame) {
+	fr := m.frame(f)
+	for i := range fr {
+		fr[i] = 0
+	}
+	m.writes += FrameSize
+}
+
+// FlipBit inverts a single bit at physical address a. It returns the new
+// value of the bit. This is the DRAM disturbance-error entry point: it is
+// the only mutation in the simulator that does not originate from a CPU
+// store.
+func (m *Memory) FlipBit(a Addr, bit uint) byte {
+	if bit > 7 {
+		panic(fmt.Sprintf("phys: bit index %d out of range", bit))
+	}
+	fr := m.frame(FrameOf(a))
+	off := Offset(a)
+	fr[off] ^= 1 << bit
+	m.writes++
+	return (fr[off] >> bit) & 1
+}
+
+// Bit returns the current value (0 or 1) of the given bit.
+func (m *Memory) Bit(a Addr, bit uint) byte {
+	if bit > 7 {
+		panic(fmt.Sprintf("phys: bit index %d out of range", bit))
+	}
+	return (m.frame(FrameOf(a))[Offset(a)] >> bit) & 1
+}
+
+// WriteCount returns the number of byte stores performed so far.
+func (m *Memory) WriteCount() uint64 { return m.writes }

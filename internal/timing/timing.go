@@ -1,0 +1,178 @@
+// Package timing provides the simulator's cycle clock, the per-machine
+// latency table, and a seeded noise model standing in for interrupts and
+// other measurement disturbance. All simulated devices charge their costs
+// to one shared Clock, so "how long did this phase take" is always the
+// difference of two cycle readings — the analogue of rdtsc on the paper's
+// test machines.
+package timing
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Cycles counts CPU core cycles.
+type Cycles uint64
+
+// Clock is the global cycle counter for one simulated machine.
+type Clock struct {
+	now Cycles
+	// freqHz converts cycles to wall time (e.g. 2.6e9 for a 2.6 GHz part).
+	freqHz uint64
+}
+
+// NewClock creates a clock for a core running at freqHz cycles per second.
+func NewClock(freqHz uint64) (*Clock, error) {
+	if freqHz == 0 {
+		return nil, fmt.Errorf("timing: frequency must be positive")
+	}
+	return &Clock{freqHz: freqHz}, nil
+}
+
+// MustNewClock is NewClock but panics on error.
+func MustNewClock(freqHz uint64) *Clock {
+	c, err := NewClock(freqHz)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Now returns the current cycle count (the simulated rdtsc).
+func (c *Clock) Now() Cycles { return c.now }
+
+// Advance moves the clock forward by n cycles.
+func (c *Clock) Advance(n Cycles) { c.now += n }
+
+// FreqHz returns the core frequency in Hz.
+func (c *Clock) FreqHz() uint64 { return c.freqHz }
+
+// Duration converts a cycle count to simulated wall time.
+func (c *Clock) Duration(n Cycles) time.Duration {
+	// n / freq seconds; compute in float to avoid overflow for large n.
+	sec := float64(n) / float64(c.freqHz)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// CyclesFor converts a wall-time duration into cycles at this clock's
+// frequency.
+func (c *Clock) CyclesFor(d time.Duration) Cycles {
+	return Cycles(d.Seconds() * float64(c.freqHz))
+}
+
+// LatencyTable holds the cost in cycles of each microarchitectural event.
+// The values are per-machine and calibrated so the simulated distributions
+// land in the ranges the paper reports (Figures 5 and 6).
+type LatencyTable struct {
+	// Cache hierarchy hit latencies.
+	L1Hit  Cycles
+	L2Hit  Cycles
+	LLCHit Cycles
+
+	// DRAM access latencies by row-buffer outcome.
+	DRAMRowHit      Cycles // row already open
+	DRAMRowClosed   Cycles // bank precharged, row must be activated
+	DRAMRowConflict Cycles // different row open: precharge + activate
+
+	// TLB lookup costs.
+	TLBL1Hit Cycles // dTLB hit
+	TLBL2Hit Cycles // sTLB hit (after dTLB miss)
+
+	// Paging-structure cache hit (per level consulted).
+	PSCacheHit Cycles
+
+	// PageWalkStep is the fixed per-level overhead of the hardware walker
+	// on top of the memory access that fetches the entry.
+	PageWalkStep Cycles
+
+	// Register/ALU cost of one NOP (for the Figure 5 padding sweep).
+	NOP Cycles
+
+	// CLFlushCost models the clflush instruction used by the explicit
+	// baseline.
+	CLFlushCost Cycles
+}
+
+// DefaultLatencies returns a latency table with Sandy/Ivy Bridge-class
+// values. Machine presets tweak individual entries.
+func DefaultLatencies() LatencyTable {
+	return LatencyTable{
+		L1Hit:           4,
+		L2Hit:           12,
+		LLCHit:          30,
+		DRAMRowHit:      90,
+		DRAMRowClosed:   135,
+		DRAMRowConflict: 190,
+		TLBL1Hit:        1,
+		TLBL2Hit:        7,
+		PSCacheHit:      2,
+		PageWalkStep:    3,
+		NOP:             1,
+		CLFlushCost:     40,
+	}
+}
+
+// Validate reports an error if any latency is zero or the ordering
+// invariants (L1 < L2 < LLC < DRAM; row hit < closed < conflict) are
+// violated.
+func (t LatencyTable) Validate() error {
+	switch {
+	case t.L1Hit == 0 || t.L2Hit == 0 || t.LLCHit == 0:
+		return fmt.Errorf("timing: cache latencies must be positive")
+	case !(t.L1Hit < t.L2Hit && t.L2Hit < t.LLCHit):
+		return fmt.Errorf("timing: cache latencies must be strictly increasing (L1 %d, L2 %d, LLC %d)", t.L1Hit, t.L2Hit, t.LLCHit)
+	case !(t.LLCHit < t.DRAMRowHit):
+		return fmt.Errorf("timing: DRAM row hit (%d) must exceed LLC hit (%d)", t.DRAMRowHit, t.LLCHit)
+	case !(t.DRAMRowHit < t.DRAMRowClosed && t.DRAMRowClosed < t.DRAMRowConflict):
+		return fmt.Errorf("timing: DRAM latencies must order hit < closed < conflict")
+	case t.NOP == 0:
+		return fmt.Errorf("timing: NOP cost must be positive")
+	}
+	return nil
+}
+
+// Noise injects occasional latency spikes into timed measurements,
+// standing in for interrupts, SMIs and prefetcher interference on the real
+// machines. It is what gives Algorithm 2 its (bounded) false-positive
+// rate. Deterministic for a given seed.
+type Noise struct {
+	rng *rand.Rand
+	// prob is the per-measurement probability of a spike, in [0,1).
+	prob float64
+	// minSpike/maxSpike bound the added cycles when a spike fires.
+	minSpike, maxSpike Cycles
+}
+
+// NewNoise creates a noise source. prob is the spike probability per
+// sample; spikes add a uniform value in [minSpike, maxSpike].
+func NewNoise(seed int64, prob float64, minSpike, maxSpike Cycles) (*Noise, error) {
+	if prob < 0 || prob >= 1 {
+		return nil, fmt.Errorf("timing: noise probability %v outside [0,1)", prob)
+	}
+	if maxSpike < minSpike {
+		return nil, fmt.Errorf("timing: maxSpike %d < minSpike %d", maxSpike, minSpike)
+	}
+	return &Noise{rng: rand.New(rand.NewSource(seed)), prob: prob, minSpike: minSpike, maxSpike: maxSpike}, nil
+}
+
+// Quiet returns a noise source that never spikes.
+func Quiet() *Noise {
+	n, err := NewNoise(0, 0, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Sample returns the extra cycles to add to one timed measurement.
+func (n *Noise) Sample() Cycles {
+	if n.prob == 0 {
+		return 0
+	}
+	if n.rng.Float64() >= n.prob {
+		return 0
+	}
+	span := uint64(n.maxSpike - n.minSpike + 1)
+	return n.minSpike + Cycles(n.rng.Uint64()%span)
+}
