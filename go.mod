@@ -1,0 +1,3 @@
+module pthammer
+
+go 1.24

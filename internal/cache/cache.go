@@ -1,0 +1,158 @@
+// Package cache models the three-level data-cache hierarchy: private
+// L1 and L2 plus a shared, inclusive last-level cache, all
+// set-associative with LRU replacement. Inclusivity is what makes the
+// paper's LLC eviction sets work: evicting a line from the LLC
+// back-invalidates it from the private levels, so a later load must go
+// to DRAM. Flush models clflush for the explicit-hammer baseline.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pthammer/internal/mem"
+	"pthammer/internal/perf"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+)
+
+// Config sizes one cache level.
+type Config struct {
+	SizeBytes uint64
+	Ways      int
+	LineBytes uint64
+}
+
+// Sets returns the number of sets implied by the config.
+func (c Config) Sets() uint64 {
+	return c.SizeBytes / (uint64(c.Ways) * c.LineBytes)
+}
+
+// Validate reports an error for degenerate or non-indexable geometry.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes == 0 || c.Ways <= 0 || c.LineBytes == 0:
+		return fmt.Errorf("cache: size/ways/line must be positive (got %d/%d/%d)", c.SizeBytes, c.Ways, c.LineBytes)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line size %d must be a power of two", c.LineBytes)
+	case c.SizeBytes%(uint64(c.Ways)*c.LineBytes) != 0:
+		return fmt.Errorf("cache: size %d not divisible by ways*line (%d*%d)", c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	if s := c.Sets(); s&(s-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a power of two", s)
+	}
+	return nil
+}
+
+// newLevel builds one level as a mem.SetAssoc tagged by line number.
+func newLevel(cfg Config) *mem.SetAssoc {
+	return mem.NewSetAssoc(int(cfg.Sets()), cfg.Ways)
+}
+
+// Hierarchy is the L1→L2→LLC chain, a mem.Device that forwards LLC
+// misses to the next device (DRAM).
+type Hierarchy struct {
+	l1, l2, llc *mem.SetAssoc
+	lineShift   uint
+	next        mem.Device
+	clock       *timing.Clock
+	counters    *perf.Counters
+
+	l1Hit, l2Hit, llcHit, flushCost timing.Cycles
+}
+
+// New builds the hierarchy. All three levels must share one line size,
+// and the LLC must be large enough to hold the private levels (the
+// inclusive property the eviction-set algorithms rely on).
+func New(l1, l2, llc Config, next mem.Device, clock *timing.Clock, counters *perf.Counters, lat timing.LatencyTable) (*Hierarchy, error) {
+	for _, c := range []Config{l1, l2, llc} {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if l1.LineBytes != l2.LineBytes || l2.LineBytes != llc.LineBytes {
+		return nil, fmt.Errorf("cache: line sizes differ (L1 %d, L2 %d, LLC %d)", l1.LineBytes, l2.LineBytes, llc.LineBytes)
+	}
+	if llc.SizeBytes < l1.SizeBytes+l2.SizeBytes {
+		return nil, fmt.Errorf("cache: inclusive LLC (%d B) smaller than L1+L2 (%d B)", llc.SizeBytes, l1.SizeBytes+l2.SizeBytes)
+	}
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	if next == nil || clock == nil || counters == nil {
+		return nil, fmt.Errorf("cache: next device, clock and counters must be non-nil")
+	}
+	return &Hierarchy{
+		l1:        newLevel(l1),
+		l2:        newLevel(l2),
+		llc:       newLevel(llc),
+		lineShift: uint(bits.TrailingZeros64(l1.LineBytes)),
+		next:      next,
+		clock:     clock,
+		counters:  counters,
+		l1Hit:     lat.L1Hit,
+		l2Hit:     lat.L2Hit,
+		llcHit:    lat.LLCHit,
+		flushCost: lat.CLFlushCost,
+	}, nil
+}
+
+// lineOf returns the line number containing the address.
+func (h *Hierarchy) lineOf(a phys.Addr) uint64 { return uint64(a) >> h.lineShift }
+
+// Lookup walks L1→L2→LLC and forwards a full miss to the next device,
+// filling the line into every level on the way back (inclusive fill).
+// The serving level's latency is charged to the shared clock.
+func (h *Hierarchy) Lookup(a mem.Access) mem.Result {
+	ln := h.lineOf(a.Addr)
+	if h.l1.Lookup(ln) {
+		h.clock.Advance(h.l1Hit)
+		return mem.Result{Latency: h.l1Hit, Hit: true, Source: mem.LevelL1}
+	}
+	if h.l2.Lookup(ln) {
+		h.l1.Insert(ln)
+		h.clock.Advance(h.l2Hit)
+		return mem.Result{Latency: h.l2Hit, Hit: true, Source: mem.LevelL2}
+	}
+	h.counters.Inc(perf.LLCReference)
+	if h.llc.Lookup(ln) {
+		h.l2.Insert(ln)
+		h.l1.Insert(ln)
+		h.clock.Advance(h.llcHit)
+		return mem.Result{Latency: h.llcHit, Hit: true, Source: mem.LevelLLC}
+	}
+	h.counters.Inc(perf.LongestLatCacheMiss)
+	res := h.next.Lookup(a)
+	h.fill(ln)
+	return mem.Result{Latency: res.Latency, Hit: false, Source: res.Source}
+}
+
+// fill installs the line at every level; an LLC eviction
+// back-invalidates the victim from the private levels to preserve
+// inclusivity.
+func (h *Hierarchy) fill(lineNum uint64) {
+	if victim, evicted := h.llc.Insert(lineNum); evicted {
+		h.l1.Invalidate(victim)
+		h.l2.Invalidate(victim)
+	}
+	h.l2.Insert(lineNum)
+	h.l1.Insert(lineNum)
+}
+
+// Flush models clflush: the line is dropped from every level and the
+// fixed instruction cost is charged whether or not it was cached.
+func (h *Hierarchy) Flush(a phys.Addr) timing.Cycles {
+	ln := h.lineOf(a)
+	h.l1.Invalidate(ln)
+	h.l2.Invalidate(ln)
+	h.llc.Invalidate(ln)
+	h.clock.Advance(h.flushCost)
+	return h.flushCost
+}
+
+// Contains reports which levels currently hold the address's line,
+// for tests asserting the inclusive property.
+func (h *Hierarchy) Contains(a phys.Addr) (inL1, inL2, inLLC bool) {
+	ln := h.lineOf(a)
+	return h.l1.Contains(ln), h.l2.Contains(ln), h.llc.Contains(ln)
+}

@@ -1,0 +1,211 @@
+package cache
+
+import (
+	"testing"
+
+	"pthammer/internal/mem"
+	"pthammer/internal/perf"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+)
+
+// fakeDRAM is a terminal device with a fixed latency, standing in for
+// the real DRAM model.
+type fakeDRAM struct {
+	clock   *timing.Clock
+	lat     timing.Cycles
+	lookups int
+}
+
+func (f *fakeDRAM) Lookup(mem.Access) mem.Result {
+	f.lookups++
+	f.clock.Advance(f.lat)
+	return mem.Result{Latency: f.lat, Hit: false, Source: mem.LevelDRAM}
+}
+
+// tiny configs: L1 2 sets × 2 ways, L2 4 sets × 2 ways, LLC 4 sets × 4
+// ways, 64 B lines.
+func tinyConfigs() (l1, l2, llc Config) {
+	l1 = Config{SizeBytes: 2 * 2 * 64, Ways: 2, LineBytes: 64}
+	l2 = Config{SizeBytes: 4 * 2 * 64, Ways: 2, LineBytes: 64}
+	llc = Config{SizeBytes: 4 * 4 * 64, Ways: 4, LineBytes: 64}
+	return
+}
+
+func newTestHierarchy(t *testing.T) (*Hierarchy, *fakeDRAM, *timing.Clock, *perf.Counters) {
+	t.Helper()
+	clock := timing.MustNewClock(1_000_000_000)
+	counters := &perf.Counters{}
+	d := &fakeDRAM{clock: clock, lat: 200}
+	l1, l2, llc := tinyConfigs()
+	h, err := New(l1, l2, llc, d, clock, counters, timing.DefaultLatencies())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return h, d, clock, counters
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, Ways: 8, LineBytes: 64},
+		{SizeBytes: 32 << 10, Ways: 0, LineBytes: 64},
+		{SizeBytes: 32 << 10, Ways: 8, LineBytes: 0},
+		{SizeBytes: 32 << 10, Ways: 8, LineBytes: 48},   // not a power of two
+		{SizeBytes: 100, Ways: 3, LineBytes: 64},        // not divisible
+		{SizeBytes: 3 * 8 * 64, Ways: 8, LineBytes: 64}, // 3 sets
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestNewRejectsMismatchedHierarchy(t *testing.T) {
+	clock := timing.MustNewClock(1_000_000_000)
+	counters := &perf.Counters{}
+	d := &fakeDRAM{clock: clock, lat: 200}
+	l1, l2, llc := tinyConfigs()
+
+	l2bad := l2
+	l2bad.LineBytes = 128
+	if _, err := New(l1, l2bad, llc, d, clock, counters, timing.DefaultLatencies()); err == nil {
+		t.Error("mismatched line sizes accepted")
+	}
+	llcSmall := Config{SizeBytes: 2 * 2 * 64, Ways: 2, LineBytes: 64}
+	if _, err := New(l1, l2, llcSmall, d, clock, counters, timing.DefaultLatencies()); err == nil {
+		t.Error("non-inclusive-capable LLC accepted")
+	}
+	if _, err := New(l1, l2, llc, nil, clock, counters, timing.DefaultLatencies()); err == nil {
+		t.Error("nil next device accepted")
+	}
+}
+
+func TestMissFillsAndHitsDescendLevels(t *testing.T) {
+	h, d, clock, counters := newTestHierarchy(t)
+	lat := timing.DefaultLatencies()
+	addr := phys.Addr(0x1000)
+
+	// Cold miss goes to DRAM and fills every level.
+	res := h.Lookup(mem.Access{Addr: addr})
+	if res.Hit || res.Source != mem.LevelDRAM || res.Latency != 200 {
+		t.Fatalf("cold lookup = %+v", res)
+	}
+	if d.lookups != 1 {
+		t.Fatalf("DRAM lookups = %d", d.lookups)
+	}
+	if in1, in2, in3 := h.Contains(addr); !in1 || !in2 || !in3 {
+		t.Fatalf("fill missing levels: %v %v %v", in1, in2, in3)
+	}
+	if counters.Read(perf.LLCReference) != 1 || counters.Read(perf.LongestLatCacheMiss) != 1 {
+		t.Fatal("cold miss counters wrong")
+	}
+
+	// Warm repeat: L1 hit, no DRAM traffic, no LLC reference.
+	res = h.Lookup(mem.Access{Addr: addr + 63}) // same line
+	if !res.Hit || res.Source != mem.LevelL1 || res.Latency != lat.L1Hit {
+		t.Fatalf("warm lookup = %+v", res)
+	}
+	if d.lookups != 1 || counters.Read(perf.LLCReference) != 1 {
+		t.Fatal("L1 hit leaked to lower levels")
+	}
+
+	wantClock := timing.Cycles(200) + lat.L1Hit
+	if clock.Now() != wantClock {
+		t.Fatalf("clock = %d, want %d", clock.Now(), wantClock)
+	}
+}
+
+func TestL2AndLLCHitPaths(t *testing.T) {
+	h, _, _, _ := newTestHierarchy(t)
+	lat := timing.DefaultLatencies()
+
+	// L1 has 2 sets × 2 ways. Lines 0, 2, 4 (even line numbers) all
+	// index L1 set 0; loading three of them evicts line 0 from L1 only.
+	a0, a2, a4 := phys.Addr(0), phys.Addr(2*64), phys.Addr(4*64)
+	h.Lookup(mem.Access{Addr: a0})
+	h.Lookup(mem.Access{Addr: a2})
+	h.Lookup(mem.Access{Addr: a4})
+	if in1, _, _ := h.Contains(a0); in1 {
+		t.Fatal("line 0 still in L1 after two conflicting fills")
+	}
+
+	// a0 now hits in L2 (L2 set 0 holds lines 0 and 4; line 2 went to
+	// L2 set 2).
+	res := h.Lookup(mem.Access{Addr: a0})
+	if !res.Hit || res.Source != mem.LevelL2 || res.Latency != lat.L2Hit {
+		t.Fatalf("expected L2 hit, got %+v", res)
+	}
+}
+
+func TestInclusiveLLCBackInvalidates(t *testing.T) {
+	h, d, _, _ := newTestHierarchy(t)
+
+	// LLC set 0 has 4 ways; line numbers ≡ 0 (mod 4) map there.
+	// Fill five such lines: the LRU one (line 0) is evicted from the
+	// LLC and must be back-invalidated from L1/L2 too.
+	target := phys.Addr(0)
+	h.Lookup(mem.Access{Addr: target})
+	for i := 1; i <= 4; i++ {
+		h.Lookup(mem.Access{Addr: phys.Addr(i * 4 * 64)})
+	}
+	if in1, in2, in3 := h.Contains(target); in1 || in2 || in3 {
+		t.Fatalf("line survived inclusive eviction: L1 %v L2 %v LLC %v", in1, in2, in3)
+	}
+
+	// The next access must go to DRAM again.
+	before := d.lookups
+	res := h.Lookup(mem.Access{Addr: target})
+	if res.Hit || d.lookups != before+1 {
+		t.Fatalf("evicted line did not refetch from DRAM: %+v", res)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	h, d, clock, _ := newTestHierarchy(t)
+	lat := timing.DefaultLatencies()
+	addr := phys.Addr(0x2000)
+
+	h.Lookup(mem.Access{Addr: addr})
+	start := clock.Now()
+	if got := h.Flush(addr); got != lat.CLFlushCost {
+		t.Fatalf("Flush cost = %d, want %d", got, lat.CLFlushCost)
+	}
+	if clock.Now()-start != lat.CLFlushCost {
+		t.Fatal("Flush did not charge the clock")
+	}
+	if in1, in2, in3 := h.Contains(addr); in1 || in2 || in3 {
+		t.Fatal("Flush left the line cached")
+	}
+	before := d.lookups
+	if res := h.Lookup(mem.Access{Addr: addr}); res.Hit || d.lookups != before+1 {
+		t.Fatal("flushed line did not refetch from DRAM")
+	}
+
+	// Flushing an uncached line still costs the instruction.
+	if got := h.Flush(phys.Addr(0x7000)); got != lat.CLFlushCost {
+		t.Fatal("Flush of uncached line free")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	h, d, _, _ := newTestHierarchy(t)
+	// L1 set 0, 2 ways: load lines 0 and 2, touch 0, then load 4.
+	// The LRU victim must be 2, not 0.
+	a0, a2, a4 := phys.Addr(0), phys.Addr(2*64), phys.Addr(4*64)
+	h.Lookup(mem.Access{Addr: a0})
+	h.Lookup(mem.Access{Addr: a2})
+	h.Lookup(mem.Access{Addr: a0}) // refresh a0
+	h.Lookup(mem.Access{Addr: a4})
+	if in1, _, _ := h.Contains(a0); !in1 {
+		t.Fatal("recently used line evicted from L1")
+	}
+	if in1, _, _ := h.Contains(a2); in1 {
+		t.Fatal("LRU line survived in L1")
+	}
+	_ = d
+}

@@ -1,0 +1,309 @@
+// Package dram models the DRAM subsystem as channels × ranks × banks,
+// each bank with one open-row buffer. Every access resolves to a
+// (channel, rank, bank, row, column) location; the row-buffer outcome
+// (hit, closed, conflict) decides the latency charged and whether a row
+// activation (ACT) fires. Activations are counted per bank row within
+// the current refresh window — the quantity the rowhammer threshold is
+// defined over (paper §2, Blacksmith-style activation budgeting).
+package dram
+
+import (
+	"fmt"
+	"sort"
+
+	"pthammer/internal/mem"
+	"pthammer/internal/perf"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+)
+
+// Config fixes the DRAM geometry, timing window, and hammer threshold
+// for one simulated machine.
+type Config struct {
+	// Geometry. Capacity is Channels*RanksPerChannel*BanksPerRank*
+	// Rows*RowBytes and must cover the machine's physical memory.
+	Channels        int
+	RanksPerChannel int
+	BanksPerRank    int
+	// Rows is the number of rows per bank.
+	Rows uint64
+	// RowBytes is the row-buffer size (column span) in bytes.
+	RowBytes uint64
+
+	// RefreshWindow is the refresh interval (tREFW, typically 64 ms) in
+	// cycles. Activation counts reset and all banks precharge when the
+	// clock crosses a window boundary. Zero disables windowing (counts
+	// accumulate forever) — useful in tests.
+	RefreshWindow timing.Cycles
+
+	// HammerThreshold is the number of aggressor-row activations within
+	// one refresh window past which an adjacent victim row is considered
+	// hammer-eligible (can be induced to flip bits).
+	HammerThreshold uint64
+}
+
+// Validate reports an error if the geometry is degenerate.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0 || c.RanksPerChannel <= 0 || c.BanksPerRank <= 0:
+		return fmt.Errorf("dram: channels/ranks/banks must be positive (got %d/%d/%d)",
+			c.Channels, c.RanksPerChannel, c.BanksPerRank)
+	case c.Rows == 0:
+		return fmt.Errorf("dram: rows per bank must be positive")
+	case c.RowBytes == 0 || c.RowBytes%phys.FrameSize != 0:
+		return fmt.Errorf("dram: row bytes %d must be a positive multiple of the %d-byte frame", c.RowBytes, phys.FrameSize)
+	case c.HammerThreshold == 0:
+		return fmt.Errorf("dram: hammer threshold must be positive")
+	}
+	return nil
+}
+
+// TotalBanks returns the number of banks across all channels and ranks.
+func (c Config) TotalBanks() int {
+	return c.Channels * c.RanksPerChannel * c.BanksPerRank
+}
+
+// Capacity returns the total DRAM capacity in bytes.
+func (c Config) Capacity() uint64 {
+	return uint64(c.TotalBanks()) * c.Rows * c.RowBytes
+}
+
+// Location is a fully decoded DRAM address.
+type Location struct {
+	Channel int
+	Rank    int
+	Bank    int // bank index within the rank
+	Row     uint64
+	Col     uint64 // byte offset within the row
+}
+
+// globalBank flattens (channel, rank, bank) into one index.
+func (c Config) globalBank(l Location) int {
+	return (l.Bank*c.RanksPerChannel+l.Rank)*c.Channels + l.Channel
+}
+
+// locOfGlobalBank is the inverse of globalBank (row/col left zero). It
+// is the single source of truth for the bank decode; Map builds on it.
+func (c Config) locOfGlobalBank(gb int) Location {
+	return Location{
+		Channel: gb % c.Channels,
+		Rank:    gb / c.Channels % c.RanksPerChannel,
+		Bank:    gb / c.Channels / c.RanksPerChannel,
+	}
+}
+
+// Map decodes a physical address into its DRAM location. Consecutive
+// row-sized blocks interleave across channels, then ranks, then banks —
+// the simple open-mapping used by the paper's test machines once the
+// (reverse-engineered) bank functions are applied. Panics if the
+// address is beyond the configured capacity: callers are simulated
+// hardware, and an out-of-range access is a simulator bug.
+func (c Config) Map(a phys.Addr) Location {
+	block := uint64(a) / c.RowBytes
+	nb := uint64(c.TotalBanks())
+	gb := block % nb
+	row := block / nb
+	if row >= c.Rows {
+		panic(fmt.Sprintf("dram: address %#x beyond capacity %#x", uint64(a), c.Capacity()))
+	}
+	loc := c.locOfGlobalBank(int(gb))
+	loc.Row = row
+	loc.Col = uint64(a) % c.RowBytes
+	return loc
+}
+
+// AddrOf is the inverse of Map: the physical address of a location.
+// Tests use it to construct same-bank different-row aggressor pairs.
+func (c Config) AddrOf(l Location) phys.Addr {
+	block := l.Row*uint64(c.TotalBanks()) + uint64(c.globalBank(l))
+	return phys.Addr(block*c.RowBytes + l.Col)
+}
+
+// bank is the per-bank state: the open row and this refresh window's
+// activation counts.
+type bank struct {
+	// openRow is the row latched in the row buffer, or -1 when the bank
+	// is precharged.
+	openRow int64
+	// acts maps row -> activations within the current refresh window.
+	acts map[uint64]uint64
+}
+
+// DRAM is the terminal mem.Device of the hierarchy.
+type DRAM struct {
+	cfg      Config
+	clock    *timing.Clock
+	counters *perf.Counters
+
+	rowHit      timing.Cycles
+	rowClosed   timing.Cycles
+	rowConflict timing.Cycles
+
+	banks       []bank
+	windowStart timing.Cycles
+}
+
+// New builds the DRAM device. Latencies come from the machine's
+// LatencyTable; the clock and counters are the machine-wide shared
+// instances every device charges into.
+func New(cfg Config, clock *timing.Clock, counters *perf.Counters, lat timing.LatencyTable) (*DRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil || counters == nil {
+		return nil, fmt.Errorf("dram: clock and counters must be non-nil")
+	}
+	d := &DRAM{
+		cfg:         cfg,
+		clock:       clock,
+		counters:    counters,
+		rowHit:      lat.DRAMRowHit,
+		rowClosed:   lat.DRAMRowClosed,
+		rowConflict: lat.DRAMRowConflict,
+		banks:       make([]bank, cfg.TotalBanks()),
+		windowStart: clock.Now(),
+	}
+	for i := range d.banks {
+		d.banks[i] = bank{openRow: -1, acts: make(map[uint64]uint64)}
+	}
+	return d, nil
+}
+
+// Config returns the geometry the device was built with.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Lookup services one memory access at a bank. It charges the
+// row-buffer-outcome latency to the shared clock, counts activations
+// and conflicts, and reports Hit for row-buffer hits.
+func (d *DRAM) Lookup(a mem.Access) mem.Result {
+	d.rotateWindow()
+	loc := d.cfg.Map(a.Addr)
+	b := &d.banks[d.cfg.globalBank(loc)]
+
+	var lat timing.Cycles
+	rowHit := false
+	switch {
+	case b.openRow == int64(loc.Row):
+		lat = d.rowHit
+		rowHit = true
+	case b.openRow < 0:
+		lat = d.rowClosed
+		d.activate(b, loc.Row)
+	default:
+		lat = d.rowConflict
+		d.counters.Inc(perf.DRAMRowConflicts)
+		d.activate(b, loc.Row)
+	}
+	d.clock.Advance(lat)
+	return mem.Result{Latency: lat, Hit: rowHit, Source: mem.LevelDRAM}
+}
+
+// activate latches row into the bank's row buffer and counts the ACT.
+func (d *DRAM) activate(b *bank, row uint64) {
+	b.openRow = int64(row)
+	b.acts[row]++
+	d.counters.Inc(perf.DRAMActivate)
+}
+
+// rotateWindow resets activation bookkeeping when the clock has crossed
+// a refresh-window boundary. Refresh also precharges every bank, so
+// open rows close.
+func (d *DRAM) rotateWindow() {
+	w := d.cfg.RefreshWindow
+	if w == 0 {
+		return
+	}
+	elapsed := d.clock.Now() - d.windowStart
+	if elapsed < w {
+		return
+	}
+	d.windowStart += (elapsed / w) * w
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+		d.banks[i].acts = make(map[uint64]uint64)
+	}
+}
+
+// Activations returns how many times the given row of the given bank
+// location has been activated in the current refresh window.
+func (d *DRAM) Activations(l Location) uint64 {
+	d.rotateWindow()
+	return d.banks[d.cfg.globalBank(l)].acts[l.Row]
+}
+
+// Victim is a row whose neighbours have been activated enough this
+// refresh window to make disturbance errors plausible.
+type Victim struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     uint64
+	// Pressure is the summed activations of the two adjacent rows
+	// within the current refresh window.
+	Pressure uint64
+}
+
+// Stats summarises hammer-relevant DRAM activity in the current
+// refresh window.
+type Stats struct {
+	// WindowStart is the cycle the current refresh window began.
+	WindowStart timing.Cycles
+	// Activations is the total ACT count across all banks this window.
+	Activations uint64
+	// Victims lists rows whose adjacent-row activation pressure meets
+	// the hammer threshold, most pressured first.
+	Victims []Victim
+}
+
+// HammerStats computes which rows are hammer-eligible right now. A row
+// v is eligible when activations(v-1) + activations(v+1) within the
+// current refresh window reach the configured threshold — double-sided
+// hammering contributes from both sides, single-sided from one.
+func (d *DRAM) HammerStats() Stats {
+	d.rotateWindow()
+	s := Stats{WindowStart: d.windowStart}
+	for gb := range d.banks {
+		b := &d.banks[gb]
+		pressure := make(map[uint64]uint64)
+		for row, n := range b.acts {
+			s.Activations += n
+			if row > 0 {
+				pressure[row-1] += n
+			}
+			if row+1 < d.cfg.Rows {
+				pressure[row+1] += n
+			}
+		}
+		for row, p := range pressure {
+			if p < d.cfg.HammerThreshold {
+				continue
+			}
+			loc := d.cfg.locOfGlobalBank(gb)
+			s.Victims = append(s.Victims, Victim{
+				Channel: loc.Channel, Rank: loc.Rank, Bank: loc.Bank,
+				Row: row, Pressure: p,
+			})
+		}
+	}
+	// Total order (pressure desc, then location) so victim lists are
+	// deterministic despite map-iteration append order.
+	sort.Slice(s.Victims, func(i, j int) bool {
+		a, b := s.Victims[i], s.Victims[j]
+		switch {
+		case a.Pressure != b.Pressure:
+			return a.Pressure > b.Pressure
+		case a.Channel != b.Channel:
+			return a.Channel < b.Channel
+		case a.Rank != b.Rank:
+			return a.Rank < b.Rank
+		case a.Bank != b.Bank:
+			return a.Bank < b.Bank
+		default:
+			return a.Row < b.Row
+		}
+	})
+	return s
+}

@@ -1,0 +1,255 @@
+package dram
+
+import (
+	"testing"
+
+	"pthammer/internal/mem"
+	"pthammer/internal/perf"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+)
+
+// testConfig is a small geometry: 2 channels × 1 rank × 2 banks,
+// 16 rows of 8 KiB, no refresh window, threshold 10.
+func testConfig() Config {
+	return Config{
+		Channels:        2,
+		RanksPerChannel: 1,
+		BanksPerRank:    2,
+		Rows:            16,
+		RowBytes:        8192,
+		HammerThreshold: 10,
+	}
+}
+
+func newTestDRAM(t *testing.T, cfg Config) (*DRAM, *timing.Clock, *perf.Counters) {
+	t.Helper()
+	clock := timing.MustNewClock(1_000_000_000)
+	counters := &perf.Counters{}
+	d, err := New(cfg, clock, counters, timing.DefaultLatencies())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d, clock, counters
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Channels = 0 },
+		func(c *Config) { c.RanksPerChannel = -1 },
+		func(c *Config) { c.BanksPerRank = 0 },
+		func(c *Config) { c.Rows = 0 },
+		func(c *Config) { c.RowBytes = 0 },
+		func(c *Config) { c.RowBytes = phys.FrameSize + 1 },
+		func(c *Config) { c.HammerThreshold = 0 },
+	}
+	for i, mutate := range bad {
+		c := testConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestMapAddrOfRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	if got := cfg.Capacity(); got != 4*16*8192 {
+		t.Fatalf("Capacity = %d", got)
+	}
+	// Every (bank, row, col) sample round-trips through AddrOf → Map.
+	for ch := 0; ch < cfg.Channels; ch++ {
+		for bank := 0; bank < cfg.BanksPerRank; bank++ {
+			for _, row := range []uint64{0, 7, 15} {
+				loc := Location{Channel: ch, Bank: bank, Row: row, Col: 513}
+				got := cfg.Map(cfg.AddrOf(loc))
+				if got != loc {
+					t.Fatalf("round trip %+v -> %+v", loc, got)
+				}
+			}
+		}
+	}
+	// Consecutive row-sized blocks land in different banks (channel
+	// interleaving first).
+	a, b := cfg.Map(0), cfg.Map(phys.Addr(cfg.RowBytes))
+	if a.Channel == b.Channel && a.Rank == b.Rank && a.Bank == b.Bank {
+		t.Fatal("adjacent blocks mapped to the same bank")
+	}
+}
+
+func TestMapPanicsBeyondCapacity(t *testing.T) {
+	cfg := testConfig()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Map beyond capacity did not panic")
+		}
+	}()
+	cfg.Map(phys.Addr(cfg.Capacity()))
+}
+
+func TestRowBufferOutcomes(t *testing.T) {
+	d, clock, counters := newTestDRAM(t, testConfig())
+	lat := timing.DefaultLatencies()
+	cfg := d.Config()
+
+	row0 := cfg.AddrOf(Location{Row: 0})
+	row1 := cfg.AddrOf(Location{Row: 1}) // same bank, different row
+
+	// Cold bank: closed-row activation.
+	res := d.Lookup(mem.Access{Addr: row0, Kind: mem.KindLoad})
+	if res.Latency != lat.DRAMRowClosed || res.Hit || res.Source != mem.LevelDRAM {
+		t.Fatalf("cold access = %+v", res)
+	}
+	if counters.Read(perf.DRAMActivate) != 1 {
+		t.Fatalf("activations = %d, want 1", counters.Read(perf.DRAMActivate))
+	}
+
+	// Same row again: row-buffer hit, no new activation.
+	res = d.Lookup(mem.Access{Addr: row0 + 64, Kind: mem.KindLoad})
+	if res.Latency != lat.DRAMRowHit || !res.Hit {
+		t.Fatalf("row hit access = %+v", res)
+	}
+	if counters.Read(perf.DRAMActivate) != 1 {
+		t.Fatal("row hit incremented activations")
+	}
+
+	// Different row in the same bank: conflict.
+	res = d.Lookup(mem.Access{Addr: row1, Kind: mem.KindLoad})
+	if res.Latency != lat.DRAMRowConflict || res.Hit {
+		t.Fatalf("conflict access = %+v", res)
+	}
+	if counters.Read(perf.DRAMRowConflicts) != 1 || counters.Read(perf.DRAMActivate) != 2 {
+		t.Fatalf("conflict counters: conflicts %d activates %d",
+			counters.Read(perf.DRAMRowConflicts), counters.Read(perf.DRAMActivate))
+	}
+
+	wantClock := lat.DRAMRowClosed + lat.DRAMRowHit + lat.DRAMRowConflict
+	if clock.Now() != wantClock {
+		t.Fatalf("clock = %d, want %d", clock.Now(), wantClock)
+	}
+}
+
+func TestHammerStatsDoubleSided(t *testing.T) {
+	cfg := testConfig() // threshold 10
+	d, _, _ := newTestDRAM(t, cfg)
+
+	// Double-sided pair around victim row 6 in bank (0,0,0).
+	above := cfg.AddrOf(Location{Row: 5})
+	below := cfg.AddrOf(Location{Row: 7})
+
+	// 4 alternations = 8 activations total: below threshold.
+	for i := 0; i < 4; i++ {
+		d.Lookup(mem.Access{Addr: above})
+		d.Lookup(mem.Access{Addr: below})
+	}
+	if s := d.HammerStats(); len(s.Victims) != 0 {
+		t.Fatalf("victims before threshold: %+v", s.Victims)
+	}
+
+	// One more alternation crosses the threshold for row 6
+	// (5 activations each side = 10 combined).
+	d.Lookup(mem.Access{Addr: above})
+	d.Lookup(mem.Access{Addr: below})
+	s := d.HammerStats()
+	if s.Activations != 10 {
+		t.Fatalf("total activations = %d, want 10", s.Activations)
+	}
+	if len(s.Victims) != 1 {
+		t.Fatalf("victims = %+v, want exactly row 6", s.Victims)
+	}
+	v := s.Victims[0]
+	if v.Row != 6 || v.Pressure != 10 || v.Channel != 0 || v.Rank != 0 || v.Bank != 0 {
+		t.Fatalf("victim = %+v", v)
+	}
+
+	// Per-row accounting is visible too.
+	if got := d.Activations(Location{Row: 5}); got != 5 {
+		t.Fatalf("row 5 activations = %d, want 5", got)
+	}
+}
+
+func TestHammerStatsSingleSidedAndOrdering(t *testing.T) {
+	cfg := testConfig()
+	cfg.HammerThreshold = 3
+	d, _, _ := newTestDRAM(t, cfg)
+	other := cfg.AddrOf(Location{Row: 9}) // forces conflicts to re-activate row 2
+	aggr := cfg.AddrOf(Location{Row: 2})
+	for i := 0; i < 4; i++ {
+		d.Lookup(mem.Access{Addr: aggr})
+		d.Lookup(mem.Access{Addr: other})
+	}
+	s := d.HammerStats()
+	// Row 2 hammered 4×, row 9 hammered 4×: victims 1,3 (pressure 4)
+	// and 8,10 (pressure 4). All ties broken by row number.
+	if len(s.Victims) != 4 {
+		t.Fatalf("victims = %+v", s.Victims)
+	}
+	rows := []uint64{s.Victims[0].Row, s.Victims[1].Row, s.Victims[2].Row, s.Victims[3].Row}
+	want := []uint64{1, 3, 8, 10}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("victim rows = %v, want %v", rows, want)
+		}
+	}
+}
+
+func TestHammerStatsTiedVictimsDeterministicOrder(t *testing.T) {
+	cfg := testConfig()
+	cfg.HammerThreshold = 4
+	d, _, _ := newTestDRAM(t, cfg)
+
+	// Identical double-sided pattern in two different channels: two
+	// victims with equal pressure and row must come back in a fixed
+	// location order every time.
+	for i := 0; i < 2; i++ {
+		for _, ch := range []int{1, 0} {
+			d.Lookup(mem.Access{Addr: cfg.AddrOf(Location{Channel: ch, Row: 5})})
+			d.Lookup(mem.Access{Addr: cfg.AddrOf(Location{Channel: ch, Row: 7})})
+		}
+	}
+	s := d.HammerStats()
+	if len(s.Victims) != 2 {
+		t.Fatalf("victims = %+v, want 2", s.Victims)
+	}
+	for i, v := range s.Victims {
+		if v.Row != 6 || v.Pressure != 4 || v.Channel != i {
+			t.Fatalf("victim %d = %+v, want row 6 pressure 4 channel %d", i, v, i)
+		}
+	}
+}
+
+func TestRefreshWindowResets(t *testing.T) {
+	cfg := testConfig()
+	cfg.RefreshWindow = 10_000
+	d, clock, _ := newTestDRAM(t, cfg)
+
+	aggr1 := cfg.AddrOf(Location{Row: 5})
+	aggr2 := cfg.AddrOf(Location{Row: 7})
+	for i := 0; i < 6; i++ {
+		d.Lookup(mem.Access{Addr: aggr1})
+		d.Lookup(mem.Access{Addr: aggr2})
+	}
+	if s := d.HammerStats(); len(s.Victims) == 0 {
+		t.Fatal("expected victims before refresh")
+	}
+
+	// Crossing the refresh boundary precharges banks and clears counts.
+	clock.Advance(20_000)
+	s := d.HammerStats()
+	if len(s.Victims) != 0 || s.Activations != 0 {
+		t.Fatalf("stats after refresh = %+v", s)
+	}
+	if s.WindowStart == 0 {
+		t.Fatal("window start did not advance")
+	}
+
+	// Banks were precharged: next access is a closed-row activation,
+	// not a row hit or conflict.
+	res := d.Lookup(mem.Access{Addr: aggr1})
+	if res.Latency != timing.DefaultLatencies().DRAMRowClosed {
+		t.Fatalf("post-refresh access latency = %d", res.Latency)
+	}
+}

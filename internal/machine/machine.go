@@ -1,0 +1,222 @@
+// Package machine is the facade over the whole simulated memory
+// hierarchy. machine.New wires one phys.Memory, one timing.Clock, one
+// perf.Counters bank, and the device chain — dTLB → sTLB → (stub) page
+// walker for translation, L1 → L2 → LLC → DRAM banks for data — so
+// that a single Load traverses every level exactly the way the paper's
+// measured loads do, and clock deltas agree with counter deltas by
+// construction. Every later algorithm PR (eviction sets, Figure 5/6
+// sweeps, the hammer loop) programs against this type.
+package machine
+
+import (
+	"fmt"
+
+	"pthammer/internal/cache"
+	"pthammer/internal/dram"
+	"pthammer/internal/mem"
+	"pthammer/internal/perf"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+	"pthammer/internal/tlb"
+)
+
+// Config fully describes one simulated machine.
+type Config struct {
+	// MemBytes is the physical memory size; it must equal the DRAM
+	// geometry's capacity so every physical address maps to a bank.
+	MemBytes uint64
+	// FreqHz is the core clock frequency.
+	FreqHz uint64
+
+	Lat  timing.LatencyTable
+	DRAM dram.Config
+	L1   cache.Config
+	L2   cache.Config
+	LLC  cache.Config
+	TLB  tlb.Config
+
+	// Noise parameters for timed measurements; NoiseProb 0 keeps the
+	// machine fully deterministic.
+	NoiseSeed          int64
+	NoiseProb          float64
+	NoiseMin, NoiseMax timing.Cycles
+}
+
+// SandyBridge returns a preset modelled on the paper's Sandy
+// Bridge-class test machine: 1 GiB of DDR3 across 2 channels × 1 rank
+// × 8 banks with 8 KiB rows, 32 KiB/256 KiB/8 MiB caches, a 64-entry
+// dTLB over a 512-entry sTLB, and a 64 ms refresh window at 3.4 GHz.
+func SandyBridge() Config {
+	const freq = 3_400_000_000
+	return Config{
+		MemBytes: 1 << 30,
+		FreqHz:   freq,
+		Lat:      timing.DefaultLatencies(),
+		DRAM: dram.Config{
+			Channels:        2,
+			RanksPerChannel: 1,
+			BanksPerRank:    8,
+			Rows:            8192,
+			RowBytes:        8192,
+			// 64 ms at 3.4 GHz.
+			RefreshWindow: timing.Cycles(freq * 64 / 1000),
+			// First-flip activation count reported for the paper's
+			// weakest module class.
+			HammerThreshold: 139_000,
+		},
+		L1:  cache.Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64},
+		L2:  cache.Config{SizeBytes: 256 << 10, Ways: 8, LineBytes: 64},
+		LLC: cache.Config{SizeBytes: 8 << 20, Ways: 16, LineBytes: 64},
+		TLB: tlb.Config{L1Entries: 64, L1Ways: 4, L2Entries: 512, L2Ways: 4},
+	}
+}
+
+// Machine owns the shared simulator state and the wired device chain.
+type Machine struct {
+	cfg      Config
+	mem      *phys.Memory
+	clock    *timing.Clock
+	noise    *timing.Noise
+	counters *perf.Counters
+
+	tlb    *tlb.TLB
+	caches *cache.Hierarchy
+	dram   *dram.DRAM
+}
+
+// stubWalker stands in for the hardware page walker until the real one
+// (which fetches PTEs through the cache hierarchy, firing
+// L1PTEMemoryFetch) lands in a later PR. It charges a fixed four-level
+// walk and counts the completed walk.
+type stubWalker struct {
+	clock    *timing.Clock
+	counters *perf.Counters
+	stepCost timing.Cycles
+}
+
+func (w *stubWalker) Lookup(mem.Access) mem.Result {
+	const levels = 4 // PML4 → PDPT → PD → PT
+	cost := w.stepCost * levels
+	w.clock.Advance(cost)
+	w.counters.Inc(perf.PageWalkCompleted)
+	return mem.Result{Latency: cost, Hit: false, Source: mem.LevelPageWalk}
+}
+
+// New validates the config and wires the machine.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Lat.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.DRAM.Validate(); err != nil {
+		return nil, err
+	}
+	if cap := cfg.DRAM.Capacity(); cap != cfg.MemBytes {
+		return nil, fmt.Errorf("machine: DRAM capacity %d != memory size %d", cap, cfg.MemBytes)
+	}
+	pmem, err := phys.New(cfg.MemBytes)
+	if err != nil {
+		return nil, err
+	}
+	clock, err := timing.NewClock(cfg.FreqHz)
+	if err != nil {
+		return nil, err
+	}
+	noise, err := timing.NewNoise(cfg.NoiseSeed, cfg.NoiseProb, cfg.NoiseMin, cfg.NoiseMax)
+	if err != nil {
+		return nil, err
+	}
+	counters := &perf.Counters{}
+
+	d, err := dram.New(cfg.DRAM, clock, counters, cfg.Lat)
+	if err != nil {
+		return nil, err
+	}
+	caches, err := cache.New(cfg.L1, cfg.L2, cfg.LLC, d, clock, counters, cfg.Lat)
+	if err != nil {
+		return nil, err
+	}
+	walker := &stubWalker{clock: clock, counters: counters, stepCost: cfg.Lat.PageWalkStep}
+	t, err := tlb.New(cfg.TLB, walker, clock, counters, cfg.Lat)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		cfg:      cfg,
+		mem:      pmem,
+		clock:    clock,
+		noise:    noise,
+		counters: counters,
+		tlb:      t,
+		caches:   caches,
+		dram:     d,
+	}, nil
+}
+
+// MustNew is New but panics on error; intended for tests and presets.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Load performs one demand load at the physical address: translation
+// through the TLB chain, then data through the cache chain. The result
+// aggregates both halves — Latency is the total cycles charged
+// (including any noise spike), Hit/Source report where the data was
+// served. Panics on an out-of-range address, mirroring phys.
+func (m *Machine) Load(a phys.Addr) mem.Result {
+	if !m.mem.Contains(a) {
+		panic(fmt.Sprintf("machine: load at %#x outside %d-byte memory", uint64(a), m.mem.Size()))
+	}
+	acc := mem.Access{Addr: a, Kind: mem.KindLoad}
+	tres := m.tlb.Lookup(acc)
+	cres := m.caches.Lookup(acc)
+	total := tres.Latency + cres.Latency
+	if spike := m.noise.Sample(); spike > 0 {
+		m.clock.Advance(spike)
+		total += spike
+	}
+	return mem.Result{Latency: total, Hit: tres.Hit && cres.Hit, Source: cres.Source}
+}
+
+// Flush models clflush on the address's line: it is dropped from every
+// cache level and the instruction cost is charged and returned. The
+// TLB is untouched — exactly why the paper needs eviction-based TLB
+// flushing from user space. Panics on an out-of-range address, like
+// Load.
+func (m *Machine) Flush(a phys.Addr) timing.Cycles {
+	if !m.mem.Contains(a) {
+		panic(fmt.Sprintf("machine: flush at %#x outside %d-byte memory", uint64(a), m.mem.Size()))
+	}
+	return m.caches.Flush(a)
+}
+
+// HammerStats reports the DRAM's per-refresh-window activation
+// bookkeeping: total ACTs and which rows are currently hammer-eligible.
+func (m *Machine) HammerStats() dram.Stats { return m.dram.HammerStats() }
+
+// Accessors for the shared state; algorithm code reads these the way
+// the paper's tooling reads rdtsc and the PMC kernel module.
+
+// Clock returns the machine's cycle clock.
+func (m *Machine) Clock() *timing.Clock { return m.clock }
+
+// Counters returns the machine's performance-counter bank.
+func (m *Machine) Counters() *perf.Counters { return m.counters }
+
+// Memory returns the backing physical memory.
+func (m *Machine) Memory() *phys.Memory { return m.mem }
+
+// DRAM returns the DRAM device (for address mapping and stats).
+func (m *Machine) DRAM() *dram.DRAM { return m.dram }
+
+// Caches returns the cache hierarchy.
+func (m *Machine) Caches() *cache.Hierarchy { return m.caches }
+
+// TLB returns the TLB chain.
+func (m *Machine) TLB() *tlb.TLB { return m.tlb }
+
+// Config returns the configuration the machine was built with.
+func (m *Machine) Config() Config { return m.cfg }

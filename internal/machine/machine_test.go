@@ -1,0 +1,257 @@
+package machine
+
+import (
+	"testing"
+
+	"pthammer/internal/dram"
+	"pthammer/internal/mem"
+	"pthammer/internal/perf"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+)
+
+func TestSandyBridgeConfigIsCoherent(t *testing.T) {
+	cfg := SandyBridge()
+	if err := cfg.Lat.Validate(); err != nil {
+		t.Fatalf("preset latency table invalid: %v", err)
+	}
+	if got := cfg.DRAM.Capacity(); got != cfg.MemBytes {
+		t.Fatalf("DRAM capacity %d != MemBytes %d", got, cfg.MemBytes)
+	}
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("New(SandyBridge()): %v", err)
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	cfg := SandyBridge()
+	cfg.MemBytes /= 2 // no longer matches the DRAM geometry
+	if _, err := New(cfg); err == nil {
+		t.Error("capacity mismatch accepted")
+	}
+
+	cfg = SandyBridge()
+	cfg.Lat.TLBL1Hit = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid latency table accepted")
+	}
+
+	cfg = SandyBridge()
+	cfg.FreqHz = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero frequency accepted")
+	}
+
+	cfg = SandyBridge()
+	cfg.NoiseProb = 2
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid noise config accepted")
+	}
+}
+
+// TestColdThenWarmLoadEndToEnd is the acceptance test: one cold load
+// traverses TLB miss → page walk → LLC miss → DRAM activation, a warm
+// repeat hits the dTLB and L1, and the latency gap agrees with the
+// perf-counter deltas and the shared clock.
+func TestColdThenWarmLoadEndToEnd(t *testing.T) {
+	m := MustNew(SandyBridge())
+	lat := m.Config().Lat
+	a := phys.Addr(0x1234560)
+
+	start := m.Clock().Now()
+	snap := m.Counters().Snapshot()
+
+	cold := m.Load(a)
+	if cold.Hit || cold.Source != mem.LevelDRAM {
+		t.Fatalf("cold load = %+v, want DRAM miss", cold)
+	}
+	// 4-level stub walk + closed-row DRAM activation.
+	wantCold := 4*lat.PageWalkStep + lat.DRAMRowClosed
+	if cold.Latency != wantCold {
+		t.Fatalf("cold latency = %d, want %d", cold.Latency, wantCold)
+	}
+	for _, c := range []struct {
+		ev   perf.Event
+		want uint64
+	}{
+		{perf.DTLBLoadMissesWalk, 1},
+		{perf.PageWalkCompleted, 1},
+		{perf.LLCReference, 1},
+		{perf.LongestLatCacheMiss, 1},
+		{perf.DRAMActivate, 1},
+		{perf.DRAMRowConflicts, 0},
+		{perf.DTLBLoadMissesL1, 0},
+	} {
+		if got := snap.Delta(m.Counters(), c.ev); got != c.want {
+			t.Errorf("cold %v delta = %d, want %d", c.ev, got, c.want)
+		}
+	}
+
+	snap = m.Counters().Snapshot()
+	warm := m.Load(a)
+	if !warm.Hit || warm.Source != mem.LevelL1 {
+		t.Fatalf("warm load = %+v, want L1 hit", warm)
+	}
+	wantWarm := lat.TLBL1Hit + lat.L1Hit
+	if warm.Latency != wantWarm {
+		t.Fatalf("warm latency = %d, want %d", warm.Latency, wantWarm)
+	}
+	for _, ev := range []perf.Event{
+		perf.DTLBLoadMissesWalk, perf.PageWalkCompleted,
+		perf.LLCReference, perf.LongestLatCacheMiss, perf.DRAMActivate,
+	} {
+		if got := snap.Delta(m.Counters(), ev); got != 0 {
+			t.Errorf("warm %v delta = %d, want 0", ev, got)
+		}
+	}
+
+	if cold.Latency <= warm.Latency {
+		t.Fatalf("cold (%d) not slower than warm (%d)", cold.Latency, warm.Latency)
+	}
+	// Clock and reported latencies agree by construction.
+	if got := m.Clock().Now() - start; got != cold.Latency+warm.Latency {
+		t.Fatalf("clock delta %d != latency sum %d", got, cold.Latency+warm.Latency)
+	}
+	// Loads of never-written memory read zeros without materializing
+	// host frames, so address sweeps stay cheap.
+	if got := m.Memory().Materialized(); got != 0 {
+		t.Fatalf("pure loads materialized %d frames", got)
+	}
+}
+
+// hammerConfig is SandyBridge with a tiny hammer threshold and no
+// refresh window so a short test loop can cross it.
+func hammerConfig() Config {
+	cfg := SandyBridge()
+	cfg.DRAM.HammerThreshold = 16
+	cfg.DRAM.RefreshWindow = 0
+	return cfg
+}
+
+// TestFlushHammerLoopReachesThreshold drives the clflush-based
+// explicit hammer baseline through the facade: alternate loads to two
+// same-bank rows with flushes in between, and observe the sandwiched
+// victim row become hammer-eligible.
+func TestFlushHammerLoopReachesThreshold(t *testing.T) {
+	m := MustNew(hammerConfig())
+	geom := m.DRAM().Config()
+
+	above := geom.AddrOf(dram.Location{Row: 100})
+	below := geom.AddrOf(dram.Location{Row: 102})
+	if la, lb := geom.Map(above), geom.Map(below); la.Channel != lb.Channel || la.Rank != lb.Rank || la.Bank != lb.Bank {
+		t.Fatalf("aggressors not same-bank: %+v vs %+v", la, lb)
+	}
+
+	snap := m.Counters().Snapshot()
+	for i := 0; i < 8; i++ {
+		m.Load(above)
+		m.Flush(above)
+		m.Load(below)
+		m.Flush(below)
+	}
+	// Without the flushes these would be cache hits; with them every
+	// load re-activates its row: 8 activations per aggressor.
+	if got := snap.Delta(m.Counters(), perf.DRAMActivate); got != 16 {
+		t.Fatalf("activations = %d, want 16", got)
+	}
+
+	s := m.HammerStats()
+	if s.Activations != 16 {
+		t.Fatalf("stats activations = %d, want 16", s.Activations)
+	}
+	if len(s.Victims) != 1 {
+		t.Fatalf("victims = %+v, want exactly the sandwiched row", s.Victims)
+	}
+	v := s.Victims[0]
+	if v.Row != 101 || v.Pressure != 16 {
+		t.Fatalf("victim = %+v, want row 101 pressure 16", v)
+	}
+}
+
+// TestCachesAbsorbHammerWithoutFlush is the negative control: the same
+// loop without flushes stays in the cache and never re-activates.
+func TestCachesAbsorbHammerWithoutFlush(t *testing.T) {
+	m := MustNew(hammerConfig())
+	geom := m.DRAM().Config()
+	above := geom.AddrOf(dram.Location{Row: 100})
+	below := geom.AddrOf(dram.Location{Row: 102})
+
+	snap := m.Counters().Snapshot()
+	for i := 0; i < 32; i++ {
+		m.Load(above)
+		m.Load(below)
+	}
+	// Two cold activations, then every load is a cache hit.
+	if got := snap.Delta(m.Counters(), perf.DRAMActivate); got != 2 {
+		t.Fatalf("activations = %d, want 2", got)
+	}
+	if s := m.HammerStats(); len(s.Victims) != 0 {
+		t.Fatalf("victims without flushing: %+v", s.Victims)
+	}
+}
+
+func TestNoiseStaysConsistentWithClock(t *testing.T) {
+	cfg := SandyBridge()
+	cfg.NoiseSeed = 7
+	cfg.NoiseProb = 0.5
+	cfg.NoiseMin = 500
+	cfg.NoiseMax = 1500
+	m := MustNew(cfg)
+
+	start := m.Clock().Now()
+	var sum timing.Cycles
+	spiked := false
+	warm := cfg.Lat.TLBL1Hit + cfg.Lat.L1Hit
+	for i := 0; i < 200; i++ {
+		res := m.Load(phys.Addr(0x40))
+		sum += res.Latency
+		if i > 0 && res.Latency > warm {
+			spiked = true
+		}
+	}
+	if !spiked {
+		t.Fatal("no spike in 200 samples at prob 0.5")
+	}
+	if got := m.Clock().Now() - start; got != sum {
+		t.Fatalf("clock delta %d != latency sum %d", got, sum)
+	}
+}
+
+func TestLoadPanicsOutOfRange(t *testing.T) {
+	m := MustNew(SandyBridge())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range load did not panic")
+		}
+	}()
+	m.Load(phys.Addr(m.Config().MemBytes))
+}
+
+func TestFlushPanicsOutOfRange(t *testing.T) {
+	m := MustNew(SandyBridge())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range flush did not panic")
+		}
+	}()
+	m.Flush(phys.Addr(m.Config().MemBytes))
+}
+
+func TestFlushDoesNotTouchTLB(t *testing.T) {
+	m := MustNew(SandyBridge())
+	a := phys.Addr(0x9000)
+	m.Load(a)
+	m.Flush(a)
+	// The data line is gone but the translation survives — the reason
+	// the paper needs eviction-based TLB flushing from user space.
+	res := m.Load(a)
+	if res.Hit || res.Source != mem.LevelDRAM {
+		t.Fatalf("post-flush load = %+v, want DRAM", res)
+	}
+	if in1, _ := m.TLB().Contains(a); !in1 {
+		t.Fatal("Flush evicted the TLB entry")
+	}
+	if got := m.Counters().Read(perf.DTLBLoadMissesWalk); got != 1 {
+		t.Fatalf("walks = %d, want 1 (translation cached)", got)
+	}
+}

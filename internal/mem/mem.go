@@ -1,0 +1,118 @@
+// Package mem defines the access-path API every simulated
+// memory-hierarchy device implements. A CPU load in the PThammer model
+// traverses the hierarchy — dTLB → sTLB → page walk, then L1 → L2 → LLC
+// → DRAM — and each hop is a Device that answers a Lookup with a Result
+// carrying where the access was served and how many cycles it cost.
+// Devices chain through the same interface, so the machine facade,
+// future page walker, and eviction-set algorithms all program against
+// one surface.
+//
+// Contract: a Device advances the shared timing.Clock by exactly the
+// Latency it reports (devices that forward a miss report the serving
+// device's latency and advance nothing themselves). That is what keeps
+// counter deltas and timing histograms consistent by construction.
+package mem
+
+import (
+	"fmt"
+
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+)
+
+// Kind classifies what an access is, which matters to devices that
+// treat demand loads and implicit (page-walker) fetches differently —
+// the distinction at the heart of PThammer.
+type Kind int
+
+const (
+	// KindLoad is an explicit demand load issued by the program.
+	KindLoad Kind = iota
+	// KindStore is an explicit demand store.
+	KindStore
+	// KindPTEFetch is an implicit access issued by the hardware page
+	// walker to fetch a page-table entry. These are the accesses
+	// PThammer turns into hammer activations.
+	KindPTEFetch
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindPTEFetch:
+		return "pte-fetch"
+	default:
+		return fmt.Sprintf("mem.Kind(%d)", int(k))
+	}
+}
+
+// Level identifies which device in the hierarchy served an access.
+type Level int
+
+const (
+	// LevelNone means the access has not been served by any device.
+	LevelNone Level = iota
+	// LevelTLB1 is the first-level data TLB.
+	LevelTLB1
+	// LevelTLB2 is the shared second-level TLB (sTLB).
+	LevelTLB2
+	// LevelPageWalk means the translation required a hardware page walk.
+	LevelPageWalk
+	// LevelL1 is the L1 data cache.
+	LevelL1
+	// LevelL2 is the unified per-core L2 cache.
+	LevelL2
+	// LevelLLC is the shared inclusive last-level cache.
+	LevelLLC
+	// LevelDRAM means the access went all the way to a DRAM bank.
+	LevelDRAM
+)
+
+// String returns a short human-readable name for the level.
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelTLB1:
+		return "dTLB"
+	case LevelTLB2:
+		return "sTLB"
+	case LevelPageWalk:
+		return "page-walk"
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelLLC:
+		return "LLC"
+	case LevelDRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("mem.Level(%d)", int(l))
+	}
+}
+
+// Access is one request travelling down the hierarchy.
+type Access struct {
+	Addr phys.Addr
+	Kind Kind
+}
+
+// Result is a device's answer: how long the access took, whether this
+// chain served it from a hit, and which level the data came from.
+type Result struct {
+	Latency timing.Cycles
+	Hit     bool
+	Source  Level
+}
+
+// Device is one level (or chain of levels) of the simulated hierarchy.
+// Lookup services the access, charges its cost to the shared clock and
+// performance counters, and reports where it was served.
+type Device interface {
+	Lookup(Access) Result
+}

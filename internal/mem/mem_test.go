@@ -1,0 +1,96 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindLoad:     "load",
+		KindStore:    "store",
+		KindPTEFetch: "pte-fetch",
+	}
+	for k, s := range want {
+		if got := k.String(); got != s {
+			t.Errorf("Kind %d String = %q, want %q", int(k), got, s)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	want := map[Level]string{
+		LevelNone:     "none",
+		LevelTLB1:     "dTLB",
+		LevelTLB2:     "sTLB",
+		LevelPageWalk: "page-walk",
+		LevelL1:       "L1",
+		LevelL2:       "L2",
+		LevelLLC:      "LLC",
+		LevelDRAM:     "DRAM",
+	}
+	for l, s := range want {
+		if got := l.String(); got != s {
+			t.Errorf("Level %d String = %q, want %q", int(l), got, s)
+		}
+	}
+	if got := Level(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown level String = %q", got)
+	}
+}
+
+func TestSetAssocLRUAndInvalidate(t *testing.T) {
+	s := NewSetAssoc(2, 2) // tags index sets by low bit
+
+	// Fill set 0 (even tags), refresh tag 0, then overflow: LRU victim
+	// must be tag 2.
+	s.Insert(0)
+	s.Insert(2)
+	if !s.Lookup(0) {
+		t.Fatal("tag 0 missing after insert")
+	}
+	ev, evicted := s.Insert(4)
+	if !evicted || ev != 2 {
+		t.Fatalf("evicted (%d, %v), want (2, true)", ev, evicted)
+	}
+	if !s.Contains(0) || s.Contains(2) || !s.Contains(4) {
+		t.Fatal("post-eviction contents wrong")
+	}
+
+	// Re-inserting a present tag refreshes instead of evicting.
+	if _, evicted := s.Insert(0); evicted {
+		t.Fatal("refreshing insert evicted")
+	}
+
+	// Odd tags live in set 1, undisturbed.
+	s.Insert(1)
+	if !s.Contains(1) || !s.Contains(0) {
+		t.Fatal("sets interfered")
+	}
+
+	if !s.Invalidate(4) || s.Contains(4) {
+		t.Fatal("Invalidate failed")
+	}
+	if s.Invalidate(4) {
+		t.Fatal("double Invalidate reported a hit")
+	}
+	if s.Lookup(4) {
+		t.Fatal("invalidated tag still present")
+	}
+}
+
+func TestNewSetAssocPanicsOnBadShape(t *testing.T) {
+	for _, shape := range [][2]int{{0, 2}, {2, 0}, {3, 2}, {-4, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSetAssoc(%d, %d) did not panic", shape[0], shape[1])
+				}
+			}()
+			NewSetAssoc(shape[0], shape[1])
+		}()
+	}
+}

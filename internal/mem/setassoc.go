@@ -1,0 +1,107 @@
+// Set-associative LRU array shared by the cache levels (tagged by line
+// number) and the TLB levels (tagged by virtual page number). Keeping
+// one implementation means replacement-policy fixes apply to both — an
+// eviction-set algorithm tuned against the cache sees the same LRU the
+// TLB uses.
+package mem
+
+import "fmt"
+
+// SetAssoc is a set-associative array of uint64 tags with true-LRU
+// replacement. The set index is the tag's low bits, so callers index
+// by line number or page number directly.
+type SetAssoc struct {
+	ways    int
+	setMask uint64
+	slots   []saEntry
+	tick    uint64
+}
+
+type saEntry struct {
+	tag   uint64
+	valid bool
+	used  uint64
+}
+
+// NewSetAssoc builds an array of sets × ways slots. Panics on a
+// non-positive shape or a non-power-of-two set count (callers validate
+// their configs first; a bad shape here is a simulator bug).
+func NewSetAssoc(sets, ways int) *SetAssoc {
+	if sets <= 0 || ways <= 0 || uint64(sets)&(uint64(sets)-1) != 0 {
+		panic(fmt.Sprintf("mem: bad set-assoc shape %d sets × %d ways", sets, ways))
+	}
+	return &SetAssoc{
+		ways:    ways,
+		setMask: uint64(sets) - 1,
+		slots:   make([]saEntry, sets*ways),
+	}
+}
+
+// set returns the ways of the set the tag indexes.
+func (s *SetAssoc) set(tag uint64) []saEntry {
+	idx := tag & s.setMask
+	return s.slots[idx*uint64(s.ways) : (idx+1)*uint64(s.ways)]
+}
+
+// Lookup reports whether the tag is present, refreshing its LRU age on
+// a hit.
+func (s *SetAssoc) Lookup(tag uint64) bool {
+	s.tick++
+	ways := s.set(tag)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].used = s.tick
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places the tag, evicting the LRU way if the set is full. It
+// returns the evicted tag (valid only when evicted is true); inserting
+// an already-present tag just refreshes it.
+func (s *SetAssoc) Insert(tag uint64) (evictedTag uint64, evicted bool) {
+	s.tick++
+	ways := s.set(tag)
+	victim := 0
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].used = s.tick
+			return 0, false
+		}
+		if !ways[i].valid {
+			victim = i
+		} else if ways[victim].valid && ways[i].used < ways[victim].used {
+			victim = i
+		}
+	}
+	ev := ways[victim]
+	ways[victim] = saEntry{tag: tag, valid: true, used: s.tick}
+	if ev.valid {
+		return ev.tag, true
+	}
+	return 0, false
+}
+
+// Invalidate drops the tag if present, reporting whether it was.
+func (s *SetAssoc) Invalidate(tag uint64) bool {
+	ways := s.set(tag)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i] = saEntry{}
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports presence without disturbing LRU state, for tests
+// and introspection.
+func (s *SetAssoc) Contains(tag uint64) bool {
+	for _, e := range s.set(tag) {
+		if e.valid && e.tag == tag {
+			return true
+		}
+	}
+	return false
+}

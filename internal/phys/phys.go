@@ -73,27 +73,40 @@ func (m *Memory) Contains(a Addr) bool { return uint64(a) < m.size }
 // an out-of-range physical access is a simulator bug, not a runtime
 // condition to handle.
 func (m *Memory) frame(f Frame) *[FrameSize]byte {
-	if uint64(f) >= m.Frames() {
-		panic(fmt.Sprintf("phys: frame %#x out of range (%d frames)", uint64(f), m.Frames()))
-	}
-	fr, ok := m.frames[f]
-	if !ok {
+	fr := m.peek(f)
+	if fr == nil {
 		fr = new([FrameSize]byte)
 		m.frames[f] = fr
 	}
 	return fr
 }
 
+// peek returns the backing array for f, or nil if the frame has never
+// been written. Read paths use it so sweeping loads over a large
+// address space do not materialize host memory. Panics like frame on
+// out-of-range frames.
+func (m *Memory) peek(f Frame) *[FrameSize]byte {
+	if uint64(f) >= m.Frames() {
+		panic(fmt.Sprintf("phys: frame %#x out of range (%d frames)", uint64(f), m.Frames()))
+	}
+	return m.frames[f]
+}
+
 // Materialized returns how many frames have been lazily allocated so far.
 func (m *Memory) Materialized() int { return len(m.frames) }
 
-// ReadByte returns the byte at physical address a.
-func (m *Memory) ReadByte(a Addr) byte {
-	return m.frame(FrameOf(a))[Offset(a)]
+// Read8 returns the byte at physical address a. Reading a never-written
+// frame returns zero without materializing it.
+func (m *Memory) Read8(a Addr) byte {
+	fr := m.peek(FrameOf(a))
+	if fr == nil {
+		return 0
+	}
+	return fr[Offset(a)]
 }
 
-// WriteByte stores b at physical address a.
-func (m *Memory) WriteByte(a Addr, b byte) {
+// Write8 stores b at physical address a.
+func (m *Memory) Write8(a Addr, b byte) {
 	m.frame(FrameOf(a))[Offset(a)] = b
 	m.writes++
 }
@@ -104,7 +117,10 @@ func (m *Memory) Read64(a Addr) uint64 {
 	if a&7 != 0 {
 		panic(fmt.Sprintf("phys: unaligned 64-bit read at %#x", uint64(a)))
 	}
-	fr := m.frame(FrameOf(a))
+	fr := m.peek(FrameOf(a))
+	if fr == nil {
+		return 0
+	}
 	off := Offset(a)
 	var v uint64
 	for i := uint64(0); i < 8; i++ {
@@ -128,9 +144,15 @@ func (m *Memory) Write64(a Addr, v uint64) {
 }
 
 // ReadFrame copies the contents of frame f into dst and returns the number
-// of bytes copied (always FrameSize when dst is large enough).
+// of bytes copied (always FrameSize when dst is large enough). A
+// never-written frame reads as zeros without materializing.
 func (m *Memory) ReadFrame(f Frame, dst []byte) int {
-	return copy(dst, m.frame(f)[:])
+	fr := m.peek(f)
+	if fr == nil {
+		var zero [FrameSize]byte
+		return copy(dst, zero[:])
+	}
+	return copy(dst, fr[:])
 }
 
 // WriteFrame copies src into frame f starting at offset 0.
@@ -169,7 +191,11 @@ func (m *Memory) Bit(a Addr, bit uint) byte {
 	if bit > 7 {
 		panic(fmt.Sprintf("phys: bit index %d out of range", bit))
 	}
-	return (m.frame(FrameOf(a))[Offset(a)] >> bit) & 1
+	fr := m.peek(FrameOf(a))
+	if fr == nil {
+		return 0
+	}
+	return (fr[Offset(a)] >> bit) & 1
 }
 
 // WriteCount returns the number of byte stores performed so far.

@@ -1,0 +1,144 @@
+package phys
+
+import "testing"
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	for _, size := range []uint64{0, 1, FrameSize - 1, FrameSize + 1} {
+		if _, err := New(size); err == nil {
+			t.Errorf("New(%d) = nil error, want error", size)
+		}
+	}
+	if _, err := New(4 * FrameSize); err != nil {
+		t.Fatalf("New(4 frames) failed: %v", err)
+	}
+}
+
+func TestLazyMaterialization(t *testing.T) {
+	m := MustNew(16 * FrameSize)
+	if got := m.Materialized(); got != 0 {
+		t.Fatalf("fresh memory materialized %d frames, want 0", got)
+	}
+	m.Write8(0, 1)
+	m.Write8(FrameSize, 2) // second frame
+	// Reads of untouched frames return zeros without materializing.
+	if got := m.Read8(FrameSize * 2); got != 0 {
+		t.Fatalf("unwritten byte = %d, want 0", got)
+	}
+	if got := m.Read64(FrameSize * 3); got != 0 {
+		t.Fatalf("unwritten word = %d, want 0", got)
+	}
+	if got := m.Bit(FrameSize*2, 5); got != 0 {
+		t.Fatalf("unwritten bit = %d, want 0", got)
+	}
+	dst := []byte{0xff, 0xff}
+	if n := m.ReadFrame(3, dst); n != 2 || dst[0] != 0 || dst[1] != 0 {
+		t.Fatalf("unwritten ReadFrame = %d %v, want zeros", n, dst)
+	}
+	if got := m.Materialized(); got != 2 {
+		t.Fatalf("materialized %d frames, want 2", got)
+	}
+	if m.Frames() != 16 || m.Size() != 16*FrameSize {
+		t.Fatalf("Frames/Size = %d/%d, want 16/%d", m.Frames(), m.Size(), 16*FrameSize)
+	}
+}
+
+func TestFlipBitRoundTrip(t *testing.T) {
+	m := MustNew(FrameSize)
+	a := Addr(100)
+	m.Write8(a, 0b0000_1000)
+	if got := m.Bit(a, 3); got != 1 {
+		t.Fatalf("Bit(3) = %d, want 1", got)
+	}
+	if got := m.FlipBit(a, 3); got != 0 {
+		t.Fatalf("FlipBit returned %d, want 0", got)
+	}
+	if got := m.Read8(a); got != 0 {
+		t.Fatalf("byte after flip = %#x, want 0", got)
+	}
+	if got := m.FlipBit(a, 3); got != 1 {
+		t.Fatalf("second FlipBit returned %d, want 1", got)
+	}
+	if got := m.Read8(a); got != 0b0000_1000 {
+		t.Fatalf("byte after double flip = %#x, want original", got)
+	}
+}
+
+func TestRead64Write64RoundTrip(t *testing.T) {
+	m := MustNew(FrameSize)
+	const v = 0x0123_4567_89ab_cdef
+	m.Write64(8, v)
+	if got := m.Read64(8); got != v {
+		t.Fatalf("Read64 = %#x, want %#x", got, uint64(v))
+	}
+	// Little-endian byte order.
+	if got := m.Read8(8); got != 0xef {
+		t.Fatalf("low byte = %#x, want 0xef", got)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestPanics(t *testing.T) {
+	m := MustNew(2 * FrameSize)
+	mustPanic(t, "unaligned Read64", func() { m.Read64(1) })
+	mustPanic(t, "unaligned Write64", func() { m.Write64(4, 0) })
+	mustPanic(t, "out-of-range read", func() { m.Read8(2 * FrameSize) })
+	mustPanic(t, "out-of-range frame", func() { m.ZeroFrame(2) })
+	mustPanic(t, "bad bit index", func() { m.FlipBit(0, 8) })
+	mustPanic(t, "bad bit index Bit", func() { m.Bit(0, 9) })
+}
+
+func TestFrameHelpersAndFrameIO(t *testing.T) {
+	if FrameOf(Addr(FrameSize+5)) != 1 || Offset(Addr(FrameSize+5)) != 5 {
+		t.Fatal("FrameOf/Offset decompose wrong")
+	}
+	if Frame(3).Addr() != Addr(3*FrameSize) {
+		t.Fatal("Frame.Addr wrong")
+	}
+
+	m := MustNew(4 * FrameSize)
+	src := make([]byte, FrameSize)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if n := m.WriteFrame(1, src); n != FrameSize {
+		t.Fatalf("WriteFrame copied %d bytes", n)
+	}
+	dst := make([]byte, FrameSize)
+	if n := m.ReadFrame(1, dst); n != FrameSize {
+		t.Fatalf("ReadFrame copied %d bytes", n)
+	}
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("frame byte %d = %d, want %d", i, dst[i], src[i])
+		}
+	}
+	m.ZeroFrame(1)
+	if m.Read8(FrameSize) != 0 {
+		t.Fatal("ZeroFrame left data behind")
+	}
+}
+
+func TestWriteCount(t *testing.T) {
+	m := MustNew(FrameSize)
+	if m.WriteCount() != 0 {
+		t.Fatal("fresh memory has nonzero write count")
+	}
+	m.Write8(0, 1)                    // +1
+	m.Write64(8, 1)                   // +8
+	m.FlipBit(0, 0)                   // +1
+	m.ZeroFrame(0)                    // +FrameSize
+	m.WriteFrame(0, make([]byte, 16)) // +16
+	want := uint64(1 + 8 + 1 + FrameSize + 16)
+	if got := m.WriteCount(); got != want {
+		t.Fatalf("WriteCount = %d, want %d", got, want)
+	}
+}

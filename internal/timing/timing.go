@@ -8,6 +8,7 @@ package timing
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 )
@@ -126,6 +127,16 @@ func (t LatencyTable) Validate() error {
 		return fmt.Errorf("timing: DRAM row hit (%d) must exceed LLC hit (%d)", t.DRAMRowHit, t.LLCHit)
 	case !(t.DRAMRowHit < t.DRAMRowClosed && t.DRAMRowClosed < t.DRAMRowConflict):
 		return fmt.Errorf("timing: DRAM latencies must order hit < closed < conflict")
+	case t.TLBL1Hit == 0 || t.TLBL2Hit == 0:
+		return fmt.Errorf("timing: TLB latencies must be positive")
+	case !(t.TLBL1Hit < t.TLBL2Hit):
+		return fmt.Errorf("timing: dTLB hit (%d) must be cheaper than sTLB hit (%d)", t.TLBL1Hit, t.TLBL2Hit)
+	case t.PSCacheHit == 0:
+		return fmt.Errorf("timing: paging-structure cache hit cost must be positive")
+	case t.PageWalkStep == 0:
+		return fmt.Errorf("timing: page walk step cost must be positive")
+	case t.CLFlushCost == 0:
+		return fmt.Errorf("timing: clflush cost must be positive")
 	case t.NOP == 0:
 		return fmt.Errorf("timing: NOP cost must be positive")
 	}
@@ -147,11 +158,19 @@ type Noise struct {
 // NewNoise creates a noise source. prob is the spike probability per
 // sample; spikes add a uniform value in [minSpike, maxSpike].
 func NewNoise(seed int64, prob float64, minSpike, maxSpike Cycles) (*Noise, error) {
-	if prob < 0 || prob >= 1 {
+	// The negated form also rejects NaN, which would otherwise pass
+	// both one-sided checks and make every Sample spike.
+	if !(prob >= 0 && prob < 1) {
 		return nil, fmt.Errorf("timing: noise probability %v outside [0,1)", prob)
 	}
 	if maxSpike < minSpike {
 		return nil, fmt.Errorf("timing: maxSpike %d < minSpike %d", maxSpike, minSpike)
+	}
+	// Sample draws from [minSpike, maxSpike] via Uint64() % (max-min+1);
+	// a range spanning the full uint64 domain overflows that span to 0
+	// and would divide by zero, so reject it here.
+	if uint64(maxSpike-minSpike) == math.MaxUint64 {
+		return nil, fmt.Errorf("timing: spike range [%d, %d] spans the full uint64 domain", minSpike, maxSpike)
 	}
 	return &Noise{rng: rand.New(rand.NewSource(seed)), prob: prob, minSpike: minSpike, maxSpike: maxSpike}, nil
 }

@@ -1,0 +1,133 @@
+// Package tlb models the two-level data-TLB over 4 KiB pages: a small
+// first-level dTLB backed by the larger shared sTLB. A full miss is
+// forwarded to the walker device (the hardware page walker in later
+// PRs; the machine facade supplies a fixed-cost stub until then) and
+// the translation is installed in both levels on the way back. The
+// dTLB/sTLB/walk split is what Figure 5's three latency plateaus and
+// the dtlb_load_misses.* counters measure.
+package tlb
+
+import (
+	"fmt"
+
+	"pthammer/internal/mem"
+	"pthammer/internal/perf"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+)
+
+// Config sizes the two TLB levels in 4 KiB-page entries.
+type Config struct {
+	L1Entries int
+	L1Ways    int
+	L2Entries int
+	L2Ways    int
+}
+
+// Validate reports an error for degenerate or non-indexable geometry.
+func (c Config) Validate() error {
+	check := func(name string, entries, ways int) error {
+		switch {
+		case entries <= 0 || ways <= 0:
+			return fmt.Errorf("tlb: %s entries/ways must be positive (got %d/%d)", name, entries, ways)
+		case entries%ways != 0:
+			return fmt.Errorf("tlb: %s entries %d not divisible by ways %d", name, entries, ways)
+		}
+		if sets := entries / ways; sets&(sets-1) != 0 {
+			return fmt.Errorf("tlb: %s set count %d must be a power of two", name, sets)
+		}
+		return nil
+	}
+	if err := check("L1", c.L1Entries, c.L1Ways); err != nil {
+		return err
+	}
+	if err := check("L2", c.L2Entries, c.L2Ways); err != nil {
+		return err
+	}
+	if c.L1Entries >= c.L2Entries {
+		return fmt.Errorf("tlb: sTLB (%d entries) must be larger than dTLB (%d)", c.L2Entries, c.L1Entries)
+	}
+	return nil
+}
+
+// newLevel builds one TLB level as a mem.SetAssoc tagged by virtual
+// page number.
+func newLevel(entries, ways int) *mem.SetAssoc {
+	return mem.NewSetAssoc(entries/ways, ways)
+}
+
+// TLB is the dTLB + sTLB chain. It implements mem.Device: Lookup
+// answers the translation side of an access, forwarding full misses to
+// the walker.
+type TLB struct {
+	l1, l2   *mem.SetAssoc
+	walker   mem.Device
+	clock    *timing.Clock
+	counters *perf.Counters
+
+	l1Hit, l2Hit timing.Cycles
+}
+
+// New builds the TLB chain in front of the given walker device.
+func New(cfg Config, walker mem.Device, clock *timing.Clock, counters *perf.Counters, lat timing.LatencyTable) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	if walker == nil || clock == nil || counters == nil {
+		return nil, fmt.Errorf("tlb: walker, clock and counters must be non-nil")
+	}
+	return &TLB{
+		l1:       newLevel(cfg.L1Entries, cfg.L1Ways),
+		l2:       newLevel(cfg.L2Entries, cfg.L2Ways),
+		walker:   walker,
+		clock:    clock,
+		counters: counters,
+		l1Hit:    lat.TLBL1Hit,
+		l2Hit:    lat.TLBL2Hit,
+	}, nil
+}
+
+// vpnOf returns the 4 KiB virtual page number of the access.
+func vpnOf(a phys.Addr) uint64 { return uint64(a) >> phys.FrameShift }
+
+// Lookup translates the access's page. dTLB hit charges TLBL1Hit; an
+// sTLB hit charges TLBL2Hit, refills the dTLB, and counts
+// dtlb_load_misses.stlb_hit; a full miss counts
+// dtlb_load_misses.miss_causes_a_walk, forwards to the walker, and
+// installs the translation in both levels.
+func (t *TLB) Lookup(a mem.Access) mem.Result {
+	vpn := vpnOf(a.Addr)
+	if t.l1.Lookup(vpn) {
+		t.clock.Advance(t.l1Hit)
+		return mem.Result{Latency: t.l1Hit, Hit: true, Source: mem.LevelTLB1}
+	}
+	if t.l2.Lookup(vpn) {
+		t.counters.Inc(perf.DTLBLoadMissesL1)
+		t.l1.Insert(vpn)
+		t.clock.Advance(t.l2Hit)
+		return mem.Result{Latency: t.l2Hit, Hit: true, Source: mem.LevelTLB2}
+	}
+	t.counters.Inc(perf.DTLBLoadMissesWalk)
+	res := t.walker.Lookup(a)
+	t.l2.Insert(vpn)
+	t.l1.Insert(vpn)
+	return mem.Result{Latency: res.Latency, Hit: false, Source: mem.LevelPageWalk}
+}
+
+// Invalidate drops the page's translation from both levels (the
+// simulated invlpg), reporting whether any level held it.
+func (t *TLB) Invalidate(a phys.Addr) bool {
+	vpn := vpnOf(a)
+	in1 := t.l1.Invalidate(vpn)
+	in2 := t.l2.Invalidate(vpn)
+	return in1 || in2
+}
+
+// Contains reports which levels currently hold the page's translation.
+func (t *TLB) Contains(a phys.Addr) (inL1, inL2 bool) {
+	vpn := vpnOf(a)
+	return t.l1.Contains(vpn), t.l2.Contains(vpn)
+}
