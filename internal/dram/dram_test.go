@@ -1,6 +1,7 @@
 package dram
 
 import (
+	"math/rand"
 	"testing"
 
 	"pthammer/internal/mem"
@@ -251,5 +252,185 @@ func TestRefreshWindowResets(t *testing.T) {
 	res := d.Lookup(mem.Access{Addr: aggr1})
 	if res.Latency != timing.DefaultLatencies().DRAMRowClosed {
 		t.Fatalf("post-refresh access latency = %d", res.Latency)
+	}
+}
+
+// refMap is an independent naive div/mod reference for the address
+// decode, kept deliberately dumb so the property tests below check the
+// optimized decoder (shift/mask or generic) against first principles.
+func refMap(c Config, a phys.Addr) Location {
+	block := uint64(a) / c.RowBytes
+	nb := uint64(c.TotalBanks())
+	gb := int(block % nb)
+	loc := Location{
+		Channel: gb % c.Channels,
+		Rank:    gb / c.Channels % c.RanksPerChannel,
+		Bank:    gb / c.Channels / c.RanksPerChannel,
+		Row:     block / nb,
+		Col:     uint64(a) % c.RowBytes,
+	}
+	return loc
+}
+
+// TestDecodeMatchesGenericAcrossGeometries is the shift/mask property
+// test: over random geometries (power-of-two and not) and random
+// in-range addresses, the decoder agrees with the naive reference.
+func TestDecodeMatchesGenericAcrossGeometries(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	geoms := []Config{
+		testConfig(), // pow2: 4 banks × 8 KiB rows
+		{Channels: 2, RanksPerChannel: 1, BanksPerRank: 8, Rows: 8192, RowBytes: 8192, HammerThreshold: 1}, // SandyBridge shape
+		{Channels: 3, RanksPerChannel: 1, BanksPerRank: 2, Rows: 64, RowBytes: 8192, HammerThreshold: 1},   // 6 banks: generic path
+		{Channels: 1, RanksPerChannel: 3, BanksPerRank: 4, Rows: 32, RowBytes: 12288, HammerThreshold: 1},  // non-pow2 row bytes
+		{Channels: 1, RanksPerChannel: 1, BanksPerRank: 1, Rows: 16, RowBytes: 4096, HammerThreshold: 1},   // degenerate single bank
+	}
+	for gi, cfg := range geoms {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("geometry %d invalid: %v", gi, err)
+		}
+		dec := cfg.newDecoder()
+		wantPow2 := cfg.RowBytes&(cfg.RowBytes-1) == 0 && uint64(cfg.TotalBanks())&(uint64(cfg.TotalBanks())-1) == 0
+		if dec.pow2 != wantPow2 {
+			t.Fatalf("geometry %d: pow2 = %v, want %v", gi, dec.pow2, wantPow2)
+		}
+		for i := 0; i < 2000; i++ {
+			a := phys.Addr(rng.Uint64() % cfg.Capacity())
+			want := refMap(cfg, a)
+			if got := cfg.Map(a); got != want {
+				t.Fatalf("geometry %d: Map(%#x) = %+v, want %+v", gi, uint64(a), got, want)
+			}
+			gb, row, col := dec.decode(a)
+			if gb != cfg.globalBank(want) || row != want.Row || col != want.Col {
+				t.Fatalf("geometry %d: decode(%#x) = (%d, %d, %d), want (%d, %d, %d)",
+					gi, uint64(a), gb, row, col, cfg.globalBank(want), want.Row, want.Col)
+			}
+			if back := cfg.AddrOf(want); back != a {
+				t.Fatalf("geometry %d: AddrOf(Map(%#x)) = %#x", gi, uint64(a), uint64(back))
+			}
+		}
+	}
+}
+
+// TestHammerStatsVictimsDoNotAliasScratch pins the ownership contract:
+// Stats.Victims is a caller-owned copy, so a later HammerStats call
+// (with different DRAM state) must not mutate an earlier result.
+func TestHammerStatsVictimsDoNotAliasScratch(t *testing.T) {
+	cfg := testConfig()
+	cfg.HammerThreshold = 2
+	d, _, _ := newTestDRAM(t, cfg)
+
+	hammer := func(row uint64, times int) {
+		aggr := cfg.AddrOf(Location{Row: row})
+		other := cfg.AddrOf(Location{Row: row + 2})
+		for i := 0; i < times; i++ {
+			d.Lookup(mem.Access{Addr: aggr})
+			d.Lookup(mem.Access{Addr: other})
+		}
+	}
+	hammer(5, 3)
+	first := d.HammerStats()
+	if len(first.Victims) == 0 {
+		t.Fatal("no victims after hammering")
+	}
+	snapshot := append([]Victim(nil), first.Victims...)
+
+	// More hammering at other rows changes the victim set; the first
+	// result must be unaffected.
+	hammer(12, 5)
+	second := d.HammerStats()
+	if len(second.Victims) <= len(first.Victims) {
+		t.Fatalf("second call found %d victims, want more than %d", len(second.Victims), len(first.Victims))
+	}
+	for i := range snapshot {
+		if first.Victims[i] != snapshot[i] {
+			t.Fatalf("victim %d mutated by later HammerStats: %+v != %+v", i, first.Victims[i], snapshot[i])
+		}
+	}
+}
+
+// TestActivationsLazyResetAcrossWindows exercises the epoch tagging:
+// counts written in an old window must read as zero after rotation
+// without any explicit clearing.
+func TestActivationsLazyResetAcrossWindows(t *testing.T) {
+	cfg := testConfig()
+	cfg.RefreshWindow = 100_000
+	d, clock, _ := newTestDRAM(t, cfg)
+
+	aggr := cfg.AddrOf(Location{Row: 3})
+	conflict := cfg.AddrOf(Location{Row: 8})
+	for i := 0; i < 3; i++ {
+		d.Lookup(mem.Access{Addr: aggr})
+		d.Lookup(mem.Access{Addr: conflict})
+	}
+	if got := d.Activations(Location{Row: 3}); got != 3 {
+		t.Fatalf("activations = %d, want 3", got)
+	}
+	clock.Advance(200_000)
+	if got := d.Activations(Location{Row: 3}); got != 0 {
+		t.Fatalf("activations after rotation = %d, want 0", got)
+	}
+	// Re-activating in the new window starts counting from scratch.
+	d.Lookup(mem.Access{Addr: aggr})
+	if got := d.Activations(Location{Row: 3}); got != 1 {
+		t.Fatalf("activations in new window = %d, want 1", got)
+	}
+}
+
+// BenchmarkLookupRowConflict measures the worst-case per-access DRAM
+// path: alternating rows in one bank, so every access is a conflict
+// plus an activation.
+func BenchmarkLookupRowConflict(b *testing.B) {
+	cfg := Config{
+		Channels: 2, RanksPerChannel: 1, BanksPerRank: 8,
+		Rows: 8192, RowBytes: 8192,
+		RefreshWindow:   timing.Cycles(217_600_000),
+		HammerThreshold: 139_000,
+	}
+	clock := timing.MustNewClock(3_400_000_000)
+	d, err := New(cfg, clock, &perf.Counters{}, timing.DefaultLatencies())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a1 := cfg.AddrOf(Location{Row: 1})
+	a2 := cfg.AddrOf(Location{Row: 3})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Lookup(mem.Access{Addr: a1})
+		d.Lookup(mem.Access{Addr: a2})
+	}
+}
+
+// BenchmarkHammerStats measures the stats pass over a window with many
+// touched rows spread across banks.
+func BenchmarkHammerStats(b *testing.B) {
+	cfg := Config{
+		Channels: 2, RanksPerChannel: 1, BanksPerRank: 8,
+		Rows: 8192, RowBytes: 8192,
+		HammerThreshold: 4,
+	}
+	clock := timing.MustNewClock(3_400_000_000)
+	d, err := New(cfg, clock, &perf.Counters{}, timing.DefaultLatencies())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Alternate each aggressor with a far row in the same bank so every
+	// access is a conflict that re-activates, spreading 4 ACTs over each
+	// of 256 aggressor rows.
+	for row := uint64(0); row < 512; row += 2 {
+		far := cfg.AddrOf(Location{Row: row + 4096})
+		aggr := cfg.AddrOf(Location{Row: row})
+		for i := 0; i < 4; i++ {
+			d.Lookup(mem.Access{Addr: aggr})
+			d.Lookup(mem.Access{Addr: far})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := d.HammerStats()
+		if len(s.Victims) == 0 {
+			b.Fatal("no victims")
+		}
 	}
 }

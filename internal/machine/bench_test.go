@@ -1,0 +1,19 @@
+// The benchmark bodies live in internal/bench so these in-tree runs
+// and cmd/pthammer-bench's BENCH_NNNN.json reports always measure the
+// same loops. This file only gives them `go test -bench` names.
+package machine_test
+
+import (
+	"testing"
+
+	"pthammer/internal/bench"
+)
+
+func BenchmarkScenarios(b *testing.B) {
+	for _, sc := range bench.Scenarios() {
+		b.Run(sc.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			sc.Run(b)
+		})
+	}
+}

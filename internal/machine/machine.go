@@ -82,6 +82,10 @@ type Machine struct {
 	tlb    *tlb.TLB
 	caches *cache.Hierarchy
 	dram   *dram.DRAM
+
+	// noisy caches NoiseProb != 0 so the quiet (deterministic) hot path
+	// skips the noise sampler entirely.
+	noisy bool
 }
 
 // stubWalker stands in for the hardware page walker until the real one
@@ -149,6 +153,7 @@ func New(cfg Config) (*Machine, error) {
 		tlb:      t,
 		caches:   caches,
 		dram:     d,
+		noisy:    cfg.NoiseProb != 0,
 	}, nil
 }
 
@@ -174,11 +179,30 @@ func (m *Machine) Load(a phys.Addr) mem.Result {
 	tres := m.tlb.Lookup(acc)
 	cres := m.caches.Lookup(acc)
 	total := tres.Latency + cres.Latency
-	if spike := m.noise.Sample(); spike > 0 {
-		m.clock.Advance(spike)
-		total += spike
+	if m.noisy {
+		if spike := m.noise.Sample(); spike > 0 {
+			m.clock.Advance(spike)
+			total += spike
+		}
 	}
 	return mem.Result{Latency: total, Hit: tres.Hit && cres.Hit, Source: cres.Source}
+}
+
+// LoadN performs Load on every address in order, appending the
+// per-load results to out and returning the extended slice. Passing a
+// reused buffer (`buf = m.LoadN(addrs, buf[:0])`) keeps batched
+// measurement loops — the sweep engine's inner loop — allocation-free;
+// the single capacity check up front replaces a per-load append grow.
+func (m *Machine) LoadN(addrs []phys.Addr, out []mem.Result) []mem.Result {
+	if need := len(out) + len(addrs); cap(out) < need {
+		grown := make([]mem.Result, len(out), need)
+		copy(grown, out)
+		out = grown
+	}
+	for _, a := range addrs {
+		out = append(out, m.Load(a))
+	}
+	return out
 }
 
 // Flush models clflush on the address's line: it is dropped from every

@@ -255,3 +255,70 @@ func TestFlushDoesNotTouchTLB(t *testing.T) {
 		t.Fatalf("walks = %d, want 1 (translation cached)", got)
 	}
 }
+
+// TestLoadSteadyStateZeroAllocs pins the hot-path contract: once the
+// machine is warmed up, Load (hit or full DRAM miss) allocates nothing.
+func TestLoadSteadyStateZeroAllocs(t *testing.T) {
+	m := MustNew(SandyBridge())
+	geom := m.DRAM().Config()
+	a1 := geom.AddrOf(dram.Location{Row: 1})
+	a2 := geom.AddrOf(dram.Location{Row: 3})
+	// Warm up: touch the flush-hammer working set so lazily grown
+	// bookkeeping (touched-row lists) reaches steady state.
+	for i := 0; i < 64; i++ {
+		m.Flush(a1)
+		m.Flush(a2)
+		m.Load(a1)
+		m.Load(a2)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Flush(a1)
+		m.Flush(a2)
+		m.Load(a1)
+		m.Load(a2)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state flush-hammer loop allocates %.1f per iteration, want 0", allocs)
+	}
+}
+
+// TestLoadNMatchesLoad checks the batched path is just Load in a loop:
+// same results, same clock and counter movement.
+func TestLoadNMatchesLoad(t *testing.T) {
+	addrs := []phys.Addr{0x0, 0x1000, 0x40, 0x200000, 0x1000, 0x7fff8}
+	single := MustNew(SandyBridge())
+	batched := MustNew(SandyBridge())
+
+	var want []mem.Result
+	for _, a := range addrs {
+		want = append(want, single.Load(a))
+	}
+	got := batched.LoadN(addrs, nil)
+	if len(got) != len(want) {
+		t.Fatalf("LoadN returned %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if single.Clock().Now() != batched.Clock().Now() {
+		t.Fatalf("clocks diverged: %d vs %d", single.Clock().Now(), batched.Clock().Now())
+	}
+	for _, ev := range []perf.Event{
+		perf.DTLBLoadMissesWalk, perf.DTLBLoadMissesL1, perf.LongestLatCacheMiss,
+		perf.LLCReference, perf.DRAMActivate, perf.DRAMRowConflicts, perf.PageWalkCompleted,
+	} {
+		if single.Counters().Read(ev) != batched.Counters().Read(ev) {
+			t.Fatalf("counter %v diverged", ev)
+		}
+	}
+
+	// Appending into a reused buffer extends rather than clobbers.
+	buf := make([]mem.Result, 0, 16)
+	buf = batched.LoadN(addrs[:2], buf)
+	buf = batched.LoadN(addrs[2:4], buf)
+	if len(buf) != 4 {
+		t.Fatalf("reused buffer length = %d, want 4", len(buf))
+	}
+}

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -92,5 +93,114 @@ func TestNewSetAssocPanicsOnBadShape(t *testing.T) {
 			}()
 			NewSetAssoc(shape[0], shape[1])
 		}()
+	}
+}
+
+// TestLookupInsertMatchesLookupThenInsert is the fused-probe property
+// test: on a random tag stream, LookupInsert must leave the array in
+// exactly the state of the unfused Lookup-then-Insert pair, and report
+// the same hits and evictions.
+func TestLookupInsertMatchesLookupThenInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fused := NewSetAssoc(4, 3)
+	plain := NewSetAssoc(4, 3)
+	for i := 0; i < 20000; i++ {
+		tag := rng.Uint64() % 64 // heavy set reuse so evictions are common
+		hit, evTag, evicted := fused.LookupInsert(tag)
+		wantHit := plain.Lookup(tag)
+		wantEvTag, wantEvicted := uint64(0), false
+		if !wantHit {
+			wantEvTag, wantEvicted = plain.Insert(tag)
+		}
+		if hit != wantHit || evicted != wantEvicted || evTag != wantEvTag {
+			t.Fatalf("step %d tag %d: fused (%v, %d, %v) != plain (%v, %d, %v)",
+				i, tag, hit, evTag, evicted, wantHit, wantEvTag, wantEvicted)
+		}
+		// Occasionally invalidate to exercise the packed-prefix repair.
+		if i%7 == 0 {
+			victim := rng.Uint64() % 64
+			if fused.Invalidate(victim) != plain.Invalidate(victim) {
+				t.Fatalf("step %d: Invalidate(%d) diverged", i, victim)
+			}
+		}
+		for tag := uint64(0); tag < 64; tag++ {
+			if fused.Contains(tag) != plain.Contains(tag) {
+				t.Fatalf("step %d: contents diverged at tag %d", i, tag)
+			}
+		}
+	}
+}
+
+// TestLookupMissDoesNotPerturbLRU pins the tick fix: failed lookups
+// must not advance replacement state, so the LRU victim is decided
+// only by hits and inserts.
+func TestLookupMissDoesNotPerturbLRU(t *testing.T) {
+	s := NewSetAssoc(1, 2)
+	s.Insert(10) // older
+	s.Insert(20) // newer
+
+	// A burst of misses between the inserts and the next eviction must
+	// be invisible to replacement order.
+	for i := 0; i < 100; i++ {
+		if s.Lookup(30) {
+			t.Fatal("absent tag reported present")
+		}
+	}
+	ev, evicted := s.Insert(40)
+	if !evicted || ev != 10 {
+		t.Fatalf("evicted (%d, %v), want (10, true): miss stream perturbed LRU", ev, evicted)
+	}
+
+	// Hits do reorder: touch 20 (older than 40 now), then overflow —
+	// the victim must be 40.
+	if !s.Lookup(20) {
+		t.Fatal("tag 20 missing")
+	}
+	ev, evicted = s.Insert(50)
+	if !evicted || ev != 40 {
+		t.Fatalf("evicted (%d, %v), want (40, true)", ev, evicted)
+	}
+}
+
+// TestInvalidateKeepsLRUOrder exercises eviction order after the
+// packed-prefix swap that Invalidate performs.
+func TestInvalidateKeepsLRUOrder(t *testing.T) {
+	s := NewSetAssoc(1, 4)
+	for _, tag := range []uint64{1, 2, 3, 4} {
+		s.Insert(tag)
+	}
+	s.Invalidate(1) // oldest goes away; 2 is now LRU
+	s.Insert(5)     // fills the freed slot, no eviction
+	if ev, evicted := s.Insert(6); !evicted || ev != 2 {
+		t.Fatalf("evicted (%d, %v), want (2, true)", ev, evicted)
+	}
+}
+
+// BenchmarkLookupInsertMiss measures the fused probe on a miss-heavy
+// stream against a full 16-way set (the LLC shape).
+func BenchmarkLookupInsertMiss(b *testing.B) {
+	s := NewSetAssoc(1, 16)
+	for tag := uint64(0); tag < 16; tag++ {
+		s.Insert(tag)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.LookupInsert(uint64(i))
+	}
+}
+
+// BenchmarkLookupThenInsertMiss is the unfused baseline for comparison.
+func BenchmarkLookupThenInsertMiss(b *testing.B) {
+	s := NewSetAssoc(1, 16)
+	for tag := uint64(0); tag < 16; tag++ {
+		s.Insert(tag)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Lookup(uint64(i)) {
+			s.Insert(uint64(i))
+		}
 	}
 }

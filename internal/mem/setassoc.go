@@ -10,46 +10,61 @@ import "fmt"
 // SetAssoc is a set-associative array of uint64 tags with true-LRU
 // replacement. The set index is the tag's low bits, so callers index
 // by line number or page number directly.
+//
+// Within a set, slot position carries no meaning — replacement order is
+// decided purely by the LRU stamps — so live entries are kept packed at
+// the front of the set and every probe scans only the live prefix. A
+// probe of a sparsely-occupied set (the common state under flush/evict
+// workloads) touches one or two entries instead of the full way count.
 type SetAssoc struct {
-	ways    int
+	ways    uint64
 	setMask uint64
 	slots   []saEntry
-	tick    uint64
+	// live[set] is the number of valid entries packed at the front of
+	// the set.
+	live []uint16
+	tick uint64
 }
 
+// saEntry is one way: the tag and its LRU stamp. Keeping the entry at
+// 16 bytes matters because every cache/TLB probe scans a prefix of a
+// set of these.
 type saEntry struct {
-	tag   uint64
-	valid bool
-	used  uint64
+	tag  uint64
+	used uint64
 }
 
 // NewSetAssoc builds an array of sets × ways slots. Panics on a
-// non-positive shape or a non-power-of-two set count (callers validate
-// their configs first; a bad shape here is a simulator bug).
+// non-positive shape, a non-power-of-two set count, or more ways than
+// the live-count representation can hold (callers validate their
+// configs first; a bad shape here is a simulator bug).
 func NewSetAssoc(sets, ways int) *SetAssoc {
-	if sets <= 0 || ways <= 0 || uint64(sets)&(uint64(sets)-1) != 0 {
+	if sets <= 0 || ways <= 0 || ways > 1<<16-1 || uint64(sets)&(uint64(sets)-1) != 0 {
 		panic(fmt.Sprintf("mem: bad set-assoc shape %d sets × %d ways", sets, ways))
 	}
 	return &SetAssoc{
-		ways:    ways,
+		ways:    uint64(ways),
 		setMask: uint64(sets) - 1,
-		slots:   make([]saEntry, sets*ways),
+		slots:   make([]saEntry, uint64(sets)*uint64(ways)),
+		live:    make([]uint16, sets),
 	}
 }
 
-// set returns the ways of the set the tag indexes.
-func (s *SetAssoc) set(tag uint64) []saEntry {
-	idx := tag & s.setMask
-	return s.slots[idx*uint64(s.ways) : (idx+1)*uint64(s.ways)]
+// set returns the set index and the live prefix of that set's ways.
+func (s *SetAssoc) set(tag uint64) (idx uint64, ways []saEntry) {
+	idx = tag & s.setMask
+	base := idx * s.ways
+	return idx, s.slots[base : base+uint64(s.live[idx])]
 }
 
 // Lookup reports whether the tag is present, refreshing its LRU age on
-// a hit.
+// a hit. The tick advances only when an entry is actually stamped, so
+// a stream of misses cannot perturb replacement order.
 func (s *SetAssoc) Lookup(tag uint64) bool {
-	s.tick++
-	ways := s.set(tag)
+	_, ways := s.set(tag)
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+		if ways[i].tag == tag {
+			s.tick++
 			ways[i].used = s.tick
 			return true
 		}
@@ -61,34 +76,50 @@ func (s *SetAssoc) Lookup(tag uint64) bool {
 // returns the evicted tag (valid only when evicted is true); inserting
 // an already-present tag just refreshes it.
 func (s *SetAssoc) Insert(tag uint64) (evictedTag uint64, evicted bool) {
-	s.tick++
-	ways := s.set(tag)
-	victim := 0
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			ways[i].used = s.tick
-			return 0, false
-		}
-		if !ways[i].valid {
-			victim = i
-		} else if ways[victim].valid && ways[i].used < ways[victim].used {
-			victim = i
-		}
-	}
-	ev := ways[victim]
-	ways[victim] = saEntry{tag: tag, valid: true, used: s.tick}
-	if ev.valid {
-		return ev.tag, true
-	}
-	return 0, false
+	_, evictedTag, evicted = s.LookupInsert(tag)
+	return evictedTag, evicted
 }
 
-// Invalidate drops the tag if present, reporting whether it was.
-func (s *SetAssoc) Invalidate(tag uint64) bool {
-	ways := s.set(tag)
+// LookupInsert probes the set exactly once: on a hit it refreshes the
+// tag's LRU age; on a miss it inserts the tag, evicting the LRU way if
+// the set is full. It fuses the Lookup-then-Insert pair every
+// cache/TLB miss path used to pay as two scans of the same set.
+func (s *SetAssoc) LookupInsert(tag uint64) (hit bool, evictedTag uint64, evicted bool) {
+	idx, ways := s.set(tag)
+	victim := 0
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			ways[i] = saEntry{}
+		if ways[i].tag == tag {
+			s.tick++
+			ways[i].used = s.tick
+			return true, 0, false
+		}
+		if ways[i].used < ways[victim].used {
+			victim = i
+		}
+	}
+	s.tick++
+	if uint64(len(ways)) < s.ways {
+		// Room left: grow the live prefix instead of evicting.
+		s.slots[idx*s.ways+uint64(len(ways))] = saEntry{tag: tag, used: s.tick}
+		s.live[idx]++
+		return false, 0, false
+	}
+	ev := ways[victim]
+	ways[victim] = saEntry{tag: tag, used: s.tick}
+	return false, ev.tag, true
+}
+
+// Invalidate drops the tag if present, reporting whether it was. The
+// last live entry moves into the vacated slot to keep the prefix
+// packed (slot order is meaningless; LRU lives in the stamps).
+func (s *SetAssoc) Invalidate(tag uint64) bool {
+	_, ways := s.set(tag)
+	for i := range ways {
+		if ways[i].tag == tag {
+			last := len(ways) - 1
+			ways[i] = ways[last]
+			ways[last] = saEntry{}
+			s.live[tag&s.setMask]--
 			return true
 		}
 	}
@@ -98,8 +129,9 @@ func (s *SetAssoc) Invalidate(tag uint64) bool {
 // Contains reports presence without disturbing LRU state, for tests
 // and introspection.
 func (s *SetAssoc) Contains(tag uint64) bool {
-	for _, e := range s.set(tag) {
-		if e.valid && e.tag == tag {
+	_, ways := s.set(tag)
+	for i := range ways {
+		if ways[i].tag == tag {
 			return true
 		}
 	}

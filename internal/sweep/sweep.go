@@ -1,0 +1,252 @@
+// Package sweep is the Figure 5/6 measurement engine: it times loads
+// over an address stream while sweeping the amount of NOP padding
+// executed before each timed load, producing one latency histogram per
+// padding value — the raw material of the paper's latency-vs-padding
+// plots.
+//
+// A sweep is split into independent shards, one per padding value, and
+// the shards are distributed over a worker pool. Each shard builds its
+// own machine.Machine seeded deterministically from the sweep's base
+// seed and the shard index, so the merged result is bit-identical for
+// any worker count: parallelism changes wall-clock time, never the
+// histograms.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pthammer/internal/machine"
+	"pthammer/internal/mem"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+)
+
+// Spec describes one sweep: which machine to build, which addresses to
+// time, and the padding range to sweep.
+type Spec struct {
+	// Machine is the template configuration; each shard copies it and
+	// overrides NoiseSeed with a value derived from BaseSeed and the
+	// shard index.
+	Machine machine.Config
+
+	// Addrs is the address stream timed at every padding value.
+	Addrs []phys.Addr
+
+	// PadMin/PadMax/PadStep define the swept NOP counts: PadMin,
+	// PadMin+PadStep, … ≤ PadMax. Before each timed replay of the
+	// address stream the shard executes that many NOPs (advancing the
+	// clock by NOP-cost × count), modelling the padding instructions of
+	// the paper's Figure 5/6 measurement loops.
+	PadMin, PadMax, PadStep int
+
+	// Reps is how many times the address stream is replayed per padding
+	// value; each timed load adds one histogram sample.
+	Reps int
+
+	// FlushBetween issues clflush on every address before its timed
+	// load (the Figure 6 explicit-hammer style), so loads measure the
+	// DRAM path instead of cache hits.
+	FlushBetween bool
+
+	// Workers caps the worker pool; 0 means GOMAXPROCS. The worker
+	// count never affects results, only how shards overlap in time.
+	Workers int
+
+	// BaseSeed seeds the per-shard noise streams.
+	BaseSeed int64
+}
+
+// validate reports an error for a sweep that cannot run.
+func (s Spec) validate() error {
+	switch {
+	case len(s.Addrs) == 0:
+		return fmt.Errorf("sweep: address stream is empty")
+	case s.Reps <= 0:
+		return fmt.Errorf("sweep: reps must be positive (got %d)", s.Reps)
+	case s.PadStep <= 0:
+		return fmt.Errorf("sweep: pad step must be positive (got %d)", s.PadStep)
+	case s.PadMin < 0 || s.PadMax < s.PadMin:
+		return fmt.Errorf("sweep: bad padding range [%d, %d]", s.PadMin, s.PadMax)
+	}
+	return nil
+}
+
+// paddings expands the swept padding values in ascending order.
+func (s Spec) paddings() []int {
+	var pads []int
+	for p := s.PadMin; p <= s.PadMax; p += s.PadStep {
+		pads = append(pads, p)
+	}
+	return pads
+}
+
+// shardSeed derives the noise seed for one shard. The mix keeps shard
+// streams decorrelated while staying a pure function of (BaseSeed,
+// shard), which is what makes worker count irrelevant to results.
+func shardSeed(base int64, shard int) int64 {
+	x := uint64(base) ^ (uint64(shard+1) * 0x9E3779B97F4A7C15)
+	x ^= x >> 32
+	return int64(x)
+}
+
+// Histogram counts latency samples per exact cycle value.
+type Histogram struct {
+	counts map[timing.Cycles]uint64
+	total  uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[timing.Cycles]uint64)}
+}
+
+// Add records one latency sample.
+func (h *Histogram) Add(c timing.Cycles) {
+	h.counts[c]++
+	h.total++
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns how many samples landed exactly on the given latency.
+func (h *Histogram) Count(c timing.Cycles) uint64 { return h.counts[c] }
+
+// Bin is one histogram bucket: an exact latency and its sample count.
+type Bin struct {
+	Latency timing.Cycles
+	Count   uint64
+}
+
+// Bins returns the buckets in ascending latency order.
+func (h *Histogram) Bins() []Bin {
+	bins := make([]Bin, 0, len(h.counts))
+	for c, n := range h.counts {
+		bins = append(bins, Bin{Latency: c, Count: n})
+	}
+	sort.Slice(bins, func(i, j int) bool { return bins[i].Latency < bins[j].Latency })
+	return bins
+}
+
+// Merge folds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for c, n := range other.counts {
+		h.counts[c] += n
+	}
+	h.total += other.total
+}
+
+// Equal reports whether two histograms hold identical samples.
+func (h *Histogram) Equal(other *Histogram) bool {
+	if h.total != other.total || len(h.counts) != len(other.counts) {
+		return false
+	}
+	for c, n := range h.counts {
+		if other.counts[c] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Point is the merged measurement at one padding value.
+type Point struct {
+	Padding int
+	Hist    *Histogram
+}
+
+// Result is a completed sweep: one Point per padding value, ascending.
+type Result struct {
+	Points []Point
+}
+
+// Merged folds every padding's histogram into one distribution — the
+// overall latency picture Figure 6 compares across hammer styles.
+func (r *Result) Merged() *Histogram {
+	h := NewHistogram()
+	for _, p := range r.Points {
+		h.Merge(p.Hist)
+	}
+	return h
+}
+
+// Run executes the sweep and returns the per-padding histograms. The
+// shards (one per padding value) are pulled off a shared index by the
+// worker pool; each shard writes only its own slot, so the merge is
+// race-free and the output deterministic for a fixed Spec. Errors are
+// reported in shard order, so a bad machine template surfaces as the
+// first shard's construction error regardless of scheduling.
+func Run(s Spec) (*Result, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	pads := s.paddings()
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pads) {
+		workers = len(pads)
+	}
+
+	points := make([]Point, len(pads))
+	errs := make([]error, len(pads))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pads) {
+					return
+				}
+				h, err := s.runShard(i, pads[i])
+				points[i] = Point{Padding: pads[i], Hist: h}
+				errs[i] = err
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Points: points}, nil
+}
+
+// runShard measures one padding value on a fresh, deterministically
+// seeded machine.
+func (s Spec) runShard(shard, pad int) (*Histogram, error) {
+	cfg := s.Machine
+	cfg.NoiseSeed = shardSeed(s.BaseSeed, shard)
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := NewHistogram()
+	nopCost := cfg.Lat.NOP * timing.Cycles(pad)
+	clock := m.Clock()
+	buf := make([]mem.Result, 0, len(s.Addrs))
+	for rep := 0; rep < s.Reps; rep++ {
+		if s.FlushBetween {
+			for _, a := range s.Addrs {
+				m.Flush(a)
+			}
+		}
+		// Execute the padding NOPs, then replay the address stream as
+		// one batched measurement.
+		clock.Advance(nopCost)
+		buf = m.LoadN(s.Addrs, buf[:0])
+		for _, r := range buf {
+			h.Add(r.Latency)
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,182 @@
+package sweep
+
+import (
+	"runtime"
+	"testing"
+
+	"pthammer/internal/machine"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+)
+
+// testSpec is a small but non-trivial sweep: noisy machine, flushes on,
+// a handful of pages, several padding points.
+func testSpec() Spec {
+	cfg := machine.SandyBridge()
+	cfg.NoiseProb = 0.2
+	cfg.NoiseMin = 100
+	cfg.NoiseMax = 400
+	return Spec{
+		Machine:      cfg,
+		Addrs:        []phys.Addr{0x0, 0x1000, 0x41000, 0x200000, 0x5000},
+		PadMin:       0,
+		PadMax:       60,
+		PadStep:      10,
+		Reps:         50,
+		FlushBetween: true,
+		BaseSeed:     42,
+	}
+}
+
+func TestRunValidatesSpec(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Addrs = nil },
+		func(s *Spec) { s.Reps = 0 },
+		func(s *Spec) { s.PadStep = 0 },
+		func(s *Spec) { s.PadMin = -1 },
+		func(s *Spec) { s.PadMax = s.PadMin - 1 },
+		func(s *Spec) { s.Machine.FreqHz = 0 },
+	}
+	for i, mutate := range bad {
+		s := testSpec()
+		mutate(&s)
+		if _, err := Run(s); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestSweepShapeAndSampleCounts(t *testing.T) {
+	s := testSpec()
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 7 {
+		t.Fatalf("points = %d, want 7 (pads 0..60 step 10)", len(res.Points))
+	}
+	wantSamples := uint64(s.Reps * len(s.Addrs))
+	for i, p := range res.Points {
+		if p.Padding != i*10 {
+			t.Fatalf("point %d padding = %d, want %d", i, p.Padding, i*10)
+		}
+		if got := p.Hist.Total(); got != wantSamples {
+			t.Fatalf("padding %d samples = %d, want %d", p.Padding, got, wantSamples)
+		}
+	}
+	if got := res.Merged().Total(); got != wantSamples*7 {
+		t.Fatalf("merged samples = %d, want %d", got, wantSamples*7)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the engine's core
+// contract: for a fixed seed the merged histograms are bit-identical
+// no matter how the shards are spread over workers.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	s := testSpec()
+	s.Workers = 1
+	serial, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0) + 3} {
+		s.Workers = workers
+		par, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Points) != len(serial.Points) {
+			t.Fatalf("%d workers: %d points, want %d", workers, len(par.Points), len(serial.Points))
+		}
+		for i := range serial.Points {
+			a, b := serial.Points[i], par.Points[i]
+			if a.Padding != b.Padding || !a.Hist.Equal(b.Hist) {
+				t.Fatalf("%d workers: padding %d histogram differs from serial run", workers, a.Padding)
+			}
+		}
+	}
+}
+
+// TestSweepSeparatesCachedFromFlushed checks the physics the engine
+// exists to measure: with flushes the latencies are DRAM-class, without
+// them the stream settles into cache hits.
+func TestSweepSeparatesCachedFromFlushed(t *testing.T) {
+	s := testSpec()
+	s.Machine.NoiseProb = 0 // deterministic latencies for the bounds below
+	s.PadMin, s.PadMax, s.PadStep = 0, 0, 1
+	lat := s.Machine.Lat
+
+	flushed, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FlushBetween = false
+	cached, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every flushed sample pays at least a DRAM row access on top of
+	// translation; the cached run must contain L1-hit samples.
+	for _, b := range flushed.Points[0].Hist.Bins() {
+		if b.Latency < lat.DRAMRowHit {
+			t.Fatalf("flushed sweep has sub-DRAM latency %d", b.Latency)
+		}
+	}
+	warm := lat.TLBL1Hit + lat.L1Hit
+	if cached.Points[0].Hist.Count(warm) == 0 {
+		t.Fatal("cached sweep has no warm L1-hit samples")
+	}
+}
+
+// TestShardSeedsDiffer guards the seed mix: shards must not share noise
+// streams just because the base seed is small.
+func TestShardSeedsDiffer(t *testing.T) {
+	seen := map[int64]bool{}
+	for shard := 0; shard < 64; shard++ {
+		seed := shardSeed(1, shard)
+		if seen[seed] {
+			t.Fatalf("duplicate shard seed %d at shard %d", seed, shard)
+		}
+		seen[seed] = true
+	}
+}
+
+func TestHistogramMergeAndEqual(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for _, c := range []timing.Cycles{5, 5, 90, 300} {
+		a.Add(c)
+	}
+	b.Add(5)
+	if a.Equal(b) {
+		t.Fatal("unequal histograms reported equal")
+	}
+	b.Add(5)
+	b.Add(90)
+	b.Add(300)
+	if !a.Equal(b) {
+		t.Fatal("equal histograms reported unequal")
+	}
+	a.Merge(b)
+	if a.Total() != 8 || a.Count(5) != 4 {
+		t.Fatalf("merge wrong: total %d count(5) %d", a.Total(), a.Count(5))
+	}
+	bins := a.Bins()
+	if len(bins) != 3 || bins[0].Latency != 5 || bins[2].Latency != 300 {
+		t.Fatalf("bins = %+v", bins)
+	}
+}
+
+// BenchmarkSweep measures end-to-end engine throughput on a small
+// parallel sweep.
+func BenchmarkSweep(b *testing.B) {
+	s := testSpec()
+	s.Reps = 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -98,22 +98,23 @@ func vpnOf(a phys.Addr) uint64 { return uint64(a) >> phys.FrameShift }
 // dtlb_load_misses.stlb_hit; a full miss counts
 // dtlb_load_misses.miss_causes_a_walk, forwards to the walker, and
 // installs the translation in both levels.
+// Each level is probed with one fused LookupInsert scan: a level that
+// misses gets the translation installed no matter which level (or the
+// walker) ends up serving it, so the miss path fills in the same pass
+// that detected the miss.
 func (t *TLB) Lookup(a mem.Access) mem.Result {
 	vpn := vpnOf(a.Addr)
-	if t.l1.Lookup(vpn) {
+	if hit, _, _ := t.l1.LookupInsert(vpn); hit {
 		t.clock.Advance(t.l1Hit)
 		return mem.Result{Latency: t.l1Hit, Hit: true, Source: mem.LevelTLB1}
 	}
-	if t.l2.Lookup(vpn) {
+	if hit, _, _ := t.l2.LookupInsert(vpn); hit {
 		t.counters.Inc(perf.DTLBLoadMissesL1)
-		t.l1.Insert(vpn)
 		t.clock.Advance(t.l2Hit)
 		return mem.Result{Latency: t.l2Hit, Hit: true, Source: mem.LevelTLB2}
 	}
 	t.counters.Inc(perf.DTLBLoadMissesWalk)
 	res := t.walker.Lookup(a)
-	t.l2.Insert(vpn)
-	t.l1.Insert(vpn)
 	return mem.Result{Latency: res.Latency, Hit: false, Source: mem.LevelPageWalk}
 }
 
