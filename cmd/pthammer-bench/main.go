@@ -7,7 +7,17 @@
 // The scenario bodies live in internal/bench, shared with the in-tree
 // `go test -bench` benchmarks so both always measure the same loops.
 //
-// Usage: pthammer-bench [-o BENCH_0002.json]
+// Usage:
+//
+//	pthammer-bench             rerun and write the next BENCH_NNNN.json
+//	pthammer-bench -o FILE     rerun and write FILE
+//	pthammer-bench -check      regression gate: rerun and exit non-zero
+//	                           if any steady-state scenario regresses
+//	                           >25% vs. the latest committed
+//	                           BENCH_NNNN.json or allocates per op
+//
+// -check is wired into CI so hot-path regressions fail the PR that
+// introduces them, not the next perf PR.
 package main
 
 import (
@@ -15,11 +25,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"pthammer/internal/bench"
 )
+
+// maxRegression is the ns/op ratio past which -check fails a
+// steady-state scenario.
+const maxRegression = 1.25
 
 // scenarioResult is one scenario's measurement. LoadsPerSec counts
 // simulated loads (not benchmark iterations) retired per wall-clock
@@ -29,52 +46,71 @@ type scenarioResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	SteadyState bool    `json:"steady_state,omitempty"`
 	LoadsPerSec float64 `json:"loads_per_sec,omitempty"`
 	// SpeedupVsBaseline is baseline ns/op divided by this run's ns/op,
-	// for scenarios that existed before the hot-path overhaul.
+	// for scenarios present in the previous committed report.
 	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
-// baselineNsPerOp records the same scenario bodies measured at the
-// pre-overhaul commit (c14fafa, map-based ACT counters, div/mod
-// decode, unfused set probes) on the reference CI-class host, so the
-// report carries the speedup this PR delivered. Scenarios without a
-// pre-PR equivalent (the sweep engine is new) are absent.
-var baselineNsPerOp = map[string]float64{
-	"warm-load":         16.30,
-	"flush-hammer-loop": 286.5,
-	"cold-load-sweep":   319.7,
-	"tlb-thrash":        113.6,
-}
-
-// report is the file layout of BENCH_NNNN.json.
+// report is the file layout of BENCH_NNNN.json. Older reports carried
+// extra fields; only the ones below are read back, so every committed
+// generation stays parseable as a baseline.
 type report struct {
-	Tool           string             `json:"tool"`
-	GoVersion      string             `json:"go_version"`
-	GOOS           string             `json:"goos"`
-	GOARCH         string             `json:"goarch"`
-	Preset         string             `json:"preset"`
-	BaselineCommit string             `json:"baseline_commit"`
-	BaselineNsOp   map[string]float64 `json:"baseline_ns_per_op"`
-	Scenarios      []scenarioResult   `json:"scenarios"`
+	Tool         string           `json:"tool"`
+	GoVersion    string           `json:"go_version"`
+	GOOS         string           `json:"goos"`
+	GOARCH       string           `json:"goarch"`
+	Preset       string           `json:"preset"`
+	BaselineFile string           `json:"baseline_file,omitempty"`
+	Scenarios    []scenarioResult `json:"scenarios"`
 }
 
-func main() {
-	out := flag.String("o", "BENCH_0002.json", "output path for the JSON report")
-	flag.Parse()
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
 
-	rep := report{
-		Tool:           "pthammer-bench",
-		GoVersion:      runtime.Version(),
-		GOOS:           runtime.GOOS,
-		GOARCH:         runtime.GOARCH,
-		Preset:         "SandyBridge",
-		BaselineCommit: "c14fafa",
-		BaselineNsOp:   baselineNsPerOp,
+// latestBaseline finds the highest-numbered committed BENCH_NNNN.json
+// in dir. ok is false when none exists.
+func latestBaseline(dir string) (path string, num int, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, false, err
 	}
+	num = -1
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, convErr := strconv.Atoi(m[1])
+		if convErr != nil {
+			continue
+		}
+		if n > num {
+			num, path = n, filepath.Join(dir, e.Name())
+		}
+	}
+	return path, num, num >= 0, nil
+}
+
+// loadReport parses a committed baseline.
+func loadReport(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// measure runs every scenario, best of three (the minimum is the least
+// disturbed by whatever else the host is doing, the usual benchstat
+// practice).
+func measure() []scenarioResult {
+	var out []scenarioResult
 	for _, sc := range bench.Scenarios() {
-		// Best of three runs: the minimum is the least disturbed by
-		// whatever else the host is doing, the usual benchstat practice.
 		var res testing.BenchmarkResult
 		for attempt := 0; attempt < 3; attempt++ {
 			r := testing.Benchmark(func(b *testing.B) {
@@ -90,27 +126,120 @@ func main() {
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
+			SteadyState: sc.SteadyState,
 		}
 		if sc.LoadsPerOp > 0 && res.T > 0 {
 			r.LoadsPerSec = float64(sc.LoadsPerOp) * float64(res.N) / res.T.Seconds()
 		}
-		if base, ok := baselineNsPerOp[sc.Name]; ok && r.NsPerOp > 0 {
-			r.SpeedupVsBaseline = base / r.NsPerOp
-		}
-		rep.Scenarios = append(rep.Scenarios, r)
-		fmt.Printf("%-20s %12.1f ns/op %6d allocs/op %14.0f loads/sec\n",
+		out = append(out, r)
+		fmt.Printf("%-22s %12.1f ns/op %6d allocs/op %14.0f loads/sec\n",
 			sc.Name, r.NsPerOp, r.AllocsPerOp, r.LoadsPerSec)
 	}
+	return out
+}
 
+// check is the CI regression gate: every steady-state scenario must
+// stay allocation-free and within maxRegression of the committed
+// baseline. Scenarios the baseline does not know (newly added) are
+// only alloc-checked.
+func check(results []scenarioResult, baseline report, baselinePath string) (failures []string) {
+	base := make(map[string]scenarioResult, len(baseline.Scenarios))
+	for _, s := range baseline.Scenarios {
+		base[s.Name] = s
+	}
+	for _, r := range results {
+		if !r.SteadyState {
+			continue
+		}
+		if r.AllocsPerOp > 0 {
+			failures = append(failures,
+				fmt.Sprintf("%s: %d allocs/op on the hot path, want 0", r.Name, r.AllocsPerOp))
+		}
+		b, ok := base[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if ratio := r.NsPerOp / b.NsPerOp; ratio > maxRegression {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.1f ns/op vs %.1f in %s (%.2fx > %.2fx allowed)",
+					r.Name, r.NsPerOp, b.NsPerOp, baselinePath, ratio, maxRegression))
+		}
+	}
+	return failures
+}
+
+func main() {
+	out := flag.String("o", "", "output path for the JSON report (default: next BENCH_NNNN.json)")
+	checkMode := flag.Bool("check", false, "regression gate: compare against the latest BENCH_NNNN.json and exit non-zero on regression; writes no report")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "pthammer-bench:", err)
+		os.Exit(1)
+	}
+
+	basePath, baseNum, haveBase, err := latestBaseline(".")
+	if err != nil {
+		fail(err)
+	}
+
+	if *checkMode {
+		if !haveBase {
+			fail(fmt.Errorf("-check needs a committed BENCH_NNNN.json baseline"))
+		}
+		baseline, err := loadReport(basePath)
+		if err != nil {
+			fail(err)
+		}
+		failures := check(measure(), baseline, basePath)
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("check passed: steady-state scenarios within %.0f%% of %s, 0 allocs/op\n",
+			(maxRegression-1)*100, basePath)
+		return
+	}
+
+	rep := report{
+		Tool:      "pthammer-bench",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Preset:    "SandyBridge",
+	}
+	var baseNs map[string]float64
+	if haveBase {
+		rep.BaselineFile = filepath.Base(basePath)
+		baseline, err := loadReport(basePath)
+		if err != nil {
+			fail(err)
+		}
+		baseNs = make(map[string]float64, len(baseline.Scenarios))
+		for _, s := range baseline.Scenarios {
+			baseNs[s.Name] = s.NsPerOp
+		}
+	}
+	rep.Scenarios = measure()
+	for i := range rep.Scenarios {
+		if b, ok := baseNs[rep.Scenarios[i].Name]; ok && rep.Scenarios[i].NsPerOp > 0 {
+			rep.Scenarios[i].SpeedupVsBaseline = b / rep.Scenarios[i].NsPerOp
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%04d.json", baseNum+1)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pthammer-bench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "pthammer-bench:", err)
-		os.Exit(1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fail(err)
 	}
-	fmt.Println("wrote", *out)
+	fmt.Println("wrote", path)
 }

@@ -1,0 +1,91 @@
+// The implicit-hammer primitive: PThammer's core loop drives DRAM row
+// activations without ever loading the aggressor rows explicitly. Each
+// iteration evicts one page's translation (TLB + paging-structure
+// caches) and the cache line holding its leaf PTE, then loads the
+// page — the hardware walk's KindPTEFetch to the PT frame is what
+// reaches DRAM. Alternating two pages whose PTEs sit in the same bank
+// two rows apart turns those fetches into row conflicts that hammer
+// the sandwiched victim row, which holds page-table bytes.
+package bench
+
+import (
+	"pthammer/internal/dram"
+	"pthammer/internal/machine"
+	"pthammer/internal/pagetable"
+	"pthammer/internal/phys"
+)
+
+// ImplicitPair is a double-sided aggressor pair for implicit
+// hammering: two virtual addresses whose leaf PTEs live in the same
+// DRAM bank, two rows apart, so the walker's PTE fetches sandwich the
+// row between them.
+type ImplicitPair struct {
+	VA1, VA2   phys.Addr // the pages the attacker loads
+	PTE1, PTE2 phys.Addr // physical addresses of their leaf PTEs
+	Loc1, Loc2 dram.Location
+	// VictimRow is the page-table row between the two PTE rows.
+	VictimRow uint64
+}
+
+// FindImplicitAggressors demand-allocates page tables by touching up
+// to maxRegions distinct 2 MiB regions, then scans the resulting PT
+// frames for a pair of leaf PTEs in the same bank exactly two rows
+// apart. ok is false when the geometry yields no such pair within the
+// touched regions.
+func FindImplicitAggressors(m *machine.Machine, maxRegions int) (ImplicitPair, bool) {
+	span := pagetable.Span(2) // one PT covers a 2 MiB region
+	size := m.Memory().Size()
+	geom := m.DRAM().Config()
+
+	type cand struct {
+		va  phys.Addr
+		pte phys.Addr
+		loc dram.Location
+	}
+	var cands []cand
+	for k := 0; k < maxRegions && uint64(k)*span < size; k++ {
+		va := phys.Addr(uint64(k) * span)
+		m.Load(va) // demand-allocate the region's page-table path
+		pte, ok := m.PTEAddr(va, 1)
+		if !ok {
+			continue
+		}
+		cands = append(cands, cand{va: va, pte: pte, loc: geom.Map(pte)})
+	}
+	for i := range cands {
+		for j := i + 1; j < len(cands); j++ {
+			a, b := cands[i], cands[j]
+			if a.loc.Channel != b.loc.Channel || a.loc.Rank != b.loc.Rank || a.loc.Bank != b.loc.Bank {
+				continue
+			}
+			lo, hi := a, b
+			if lo.loc.Row > hi.loc.Row {
+				lo, hi = hi, lo
+			}
+			if hi.loc.Row-lo.loc.Row != 2 {
+				continue
+			}
+			return ImplicitPair{
+				VA1: lo.va, VA2: hi.va,
+				PTE1: lo.pte, PTE2: hi.pte,
+				Loc1: lo.loc, Loc2: hi.loc,
+				VictimRow: lo.loc.Row + 1,
+			}, true
+		}
+	}
+	return ImplicitPair{}, false
+}
+
+// HammerOnce runs one iteration of the implicit-hammer loop on the
+// pair: per side, evict the translation (simulated invlpg standing in
+// for the paper's TLB eviction set), flush the PTE's cache line
+// (standing in for the LLC eviction set), and load the page. The
+// only DRAM rows this touches after warm-up are the PTE rows.
+func (p ImplicitPair) HammerOnce(m *machine.Machine) {
+	m.InvalidatePage(p.VA1)
+	m.Flush(p.PTE1)
+	m.Load(p.VA1)
+	m.InvalidatePage(p.VA2)
+	m.Flush(p.PTE2)
+	m.Load(p.VA2)
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"testing"
+
+	"pthammer/internal/machine"
+	"pthammer/internal/perf"
+	"pthammer/internal/timing"
+)
+
+// hammerConfig lowers the threshold and disables refresh so a short
+// loop can cross it.
+func hammerConfig() machine.Config {
+	cfg := machine.SandyBridge()
+	cfg.DRAM.HammerThreshold = 64
+	cfg.DRAM.RefreshWindow = 0
+	return cfg
+}
+
+// TestImplicitHammerReachesThreshold is the PR's acceptance test: a
+// flush-TLB-then-load loop whose only DRAM traffic to the aggressor
+// rows is the page walker's KindPTEFetch accesses drives the
+// page-table victim row past the hammer threshold, while the shared
+// clock, the per-access Results, and the perf counters stay in exact
+// agreement.
+func TestImplicitHammerReachesThreshold(t *testing.T) {
+	m := machine.MustNew(hammerConfig())
+	geom := m.DRAM().Config()
+
+	pair, ok := FindImplicitAggressors(m, 256)
+	if !ok {
+		t.Fatal("no implicit aggressor pair found")
+	}
+	if pair.Loc1.Bank != pair.Loc2.Bank || pair.Loc2.Row-pair.Loc1.Row != 2 {
+		t.Fatalf("pair not double-sided same-bank: %+v / %+v", pair.Loc1, pair.Loc2)
+	}
+	// The attacker's explicit accesses (the data loads) must not touch
+	// the aggressor rows themselves — that is the whole point.
+	for _, loc := range []struct {
+		name string
+		row  uint64
+		bank int
+	}{
+		{"va1 data", geom.Map(pair.VA1).Row, geom.Map(pair.VA1).Bank},
+		{"va2 data", geom.Map(pair.VA2).Row, geom.Map(pair.VA2).Bank},
+	} {
+		if loc.bank == pair.Loc1.Bank && (loc.row == pair.Loc1.Row || loc.row == pair.Loc2.Row) {
+			t.Fatalf("%s lands in an aggressor row", loc.name)
+		}
+	}
+
+	const rounds = 40
+	start := m.Clock().Now()
+	snap := m.Counters().Snapshot()
+	var sum timing.Cycles
+	for i := 0; i < rounds; i++ {
+		m.InvalidatePage(pair.VA1)
+		sum += m.Flush(pair.PTE1)
+		sum += m.Load(pair.VA1).Latency
+		m.InvalidatePage(pair.VA2)
+		sum += m.Flush(pair.PTE2)
+		sum += m.Load(pair.VA2).Latency
+	}
+
+	// Clock/Result agreement end-to-end with the real walker: every
+	// cycle the loop charged is accounted for by a returned latency.
+	if got := m.Clock().Now() - start; got != sum {
+		t.Fatalf("clock delta %d != latency sum %d", got, sum)
+	}
+	// Every load walked, and every walk's leaf PTE came from DRAM —
+	// the implicit accesses that do the hammering.
+	if got := snap.Delta(m.Counters(), perf.DTLBLoadMissesWalk); got != 2*rounds {
+		t.Fatalf("walks = %d, want %d", got, 2*rounds)
+	}
+	if got := snap.Delta(m.Counters(), perf.L1PTEMemoryFetch); got != 2*rounds {
+		t.Fatalf("L1 PTE memory fetches = %d, want %d", got, 2*rounds)
+	}
+
+	// The sandwiched page-table row is hammer-eligible, and every
+	// reported victim lives in the PTE bank — none of them is adjacent
+	// to anything the attacker loaded explicitly.
+	stats := m.HammerStats()
+	found := false
+	for _, v := range stats.Victims {
+		if v.Channel == pair.Loc1.Channel && v.Rank == pair.Loc1.Rank &&
+			v.Bank == pair.Loc1.Bank && v.Row == pair.VictimRow {
+			found = true
+			if v.Pressure < 2*rounds {
+				t.Fatalf("victim pressure = %d, want ≥ %d", v.Pressure, 2*rounds)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("PTE victim row %d not in victims: %+v", pair.VictimRow, stats.Victims)
+	}
+}
+
+// TestImplicitHammerSteadyStateZeroAllocs pins the hot-path contract
+// for the walker path: once the pair is warm, the full
+// invalidate-flush-load iteration allocates nothing.
+func TestImplicitHammerSteadyStateZeroAllocs(t *testing.T) {
+	m := machine.MustNew(machine.SandyBridge())
+	pair, ok := FindImplicitAggressors(m, 256)
+	if !ok {
+		t.Fatal("no implicit aggressor pair found")
+	}
+	for i := 0; i < 64; i++ {
+		pair.HammerOnce(m)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { pair.HammerOnce(m) }); allocs != 0 {
+		t.Fatalf("steady-state implicit hammer allocates %.1f per iteration, want 0", allocs)
+	}
+}

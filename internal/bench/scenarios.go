@@ -21,7 +21,12 @@ import (
 type Scenario struct {
 	Name       string
 	LoadsPerOp int
-	Run        func(b *testing.B)
+	// SteadyState marks scenarios whose measured loop must not
+	// allocate: the CI regression gate (pthammer-bench -check) fails
+	// them on any allocs/op and on >25% ns/op regressions against the
+	// latest committed baseline.
+	SteadyState bool
+	Run         func(b *testing.B)
 }
 
 func newMachine() *machine.Machine {
@@ -30,17 +35,19 @@ func newMachine() *machine.Machine {
 
 // Scenarios returns the standard list:
 //
-//	warm-load         all-hit fast path (dTLB + L1 every iteration)
-//	flush-hammer-loop clflush two same-bank aggressors, load them back
-//	cold-load-sweep   stride past cache and TLB reach, full-miss loads
-//	tlb-thrash        page stride past sTLB reach, walk-heavy loads
-//	loadn-batch-64    batched LoadN over a reused result buffer
-//	sweep-engine      parallel Figure 5/6 padding sweep, end to end
+//	warm-load            all-hit fast path (dTLB + L1 every iteration)
+//	flush-hammer-loop    clflush two same-bank aggressors, load them back
+//	implicit-hammer-loop flush-TLB-then-load: PTE fetches do the hammering
+//	cold-load-sweep      stride past cache and TLB reach, full-miss loads
+//	tlb-thrash           page stride past sTLB reach, walk-heavy loads
+//	loadn-batch-64       batched LoadN over a reused result buffer
+//	sweep-engine         parallel Figure 5/6 padding sweep, end to end
 func Scenarios() []Scenario {
 	return []Scenario{
 		{
-			Name:       "warm-load",
-			LoadsPerOp: 1,
+			Name:        "warm-load",
+			LoadsPerOp:  1,
+			SteadyState: true,
 			Run: func(b *testing.B) {
 				m := newMachine()
 				m.Load(0)
@@ -57,8 +64,9 @@ func Scenarios() []Scenario {
 			// back so every load goes to DRAM and activates a row.
 			// This is the loop Algorithm 1 and the hammer phase
 			// multiply by millions.
-			Name:       "flush-hammer-loop",
-			LoadsPerOp: 2,
+			Name:        "flush-hammer-loop",
+			LoadsPerOp:  2,
+			SteadyState: true,
 			Run: func(b *testing.B) {
 				m := newMachine()
 				geom := m.DRAM().Config()
@@ -74,13 +82,35 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
+			// PThammer's primitive: evict the translation and the PTE
+			// line, then load — the page walk's implicit KindPTEFetch
+			// accesses are the only thing reaching the aggressor rows.
+			Name:        "implicit-hammer-loop",
+			LoadsPerOp:  2,
+			SteadyState: true,
+			Run: func(b *testing.B) {
+				m := newMachine()
+				pair, ok := FindImplicitAggressors(m, 256)
+				if !ok {
+					b.Fatal("no implicit aggressor pair in geometry")
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pair.HammerOnce(m)
+				}
+			},
+		},
+		{
 			// Stride one line past a page so every iteration misses the
-			// caches and the TLB.
-			Name:       "cold-load-sweep",
-			LoadsPerOp: 1,
+			// caches and the TLB; the address space is premapped so the
+			// measured loop walks tables without demand-allocating them.
+			Name:        "cold-load-sweep",
+			LoadsPerOp:  1,
+			SteadyState: true,
 			Run: func(b *testing.B) {
 				m := newMachine()
 				size := m.Memory().Size()
+				m.Premap(0, size)
 				var a phys.Addr
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -95,11 +125,13 @@ func Scenarios() []Scenario {
 		{
 			// Whole-page stride across twice the sTLB reach, so
 			// translations keep walking while data stays cached.
-			Name:       "tlb-thrash",
-			LoadsPerOp: 1,
+			Name:        "tlb-thrash",
+			LoadsPerOp:  1,
+			SteadyState: true,
 			Run: func(b *testing.B) {
 				m := newMachine()
 				pages := uint64(m.Config().TLB.L2Entries * 2)
+				m.Premap(0, pages*phys.FrameSize)
 				var p uint64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -112,8 +144,9 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
-			Name:       "loadn-batch-64",
-			LoadsPerOp: 64,
+			Name:        "loadn-batch-64",
+			LoadsPerOp:  64,
+			SteadyState: true,
 			Run: func(b *testing.B) {
 				m := newMachine()
 				addrs := make([]phys.Addr, 64)

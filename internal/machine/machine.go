@@ -1,11 +1,18 @@
 // Package machine is the facade over the whole simulated memory
 // hierarchy. machine.New wires one phys.Memory, one timing.Clock, one
-// perf.Counters bank, and the device chain — dTLB → sTLB → (stub) page
-// walker for translation, L1 → L2 → LLC → DRAM banks for data — so
-// that a single Load traverses every level exactly the way the paper's
-// measured loads do, and clock deltas agree with counter deltas by
-// construction. Every later algorithm PR (eviction sets, Figure 5/6
-// sweeps, the hammer loop) programs against this type.
+// perf.Counters bank, and the device chain — dTLB → sTLB → hardware
+// page walker for translation, L1 → L2 → LLC → DRAM banks for data —
+// so that a single Load traverses every level exactly the way the
+// paper's measured loads do, and clock deltas agree with counter
+// deltas by construction. Every later algorithm PR (eviction sets,
+// Figure 5/6 sweeps, the hammer loop) programs against this type.
+//
+// Translation is real: the machine reserves the top of physical
+// memory as the kernel's page-table pool, identity-maps pages there on
+// first touch (demand paging), and the walker fetches the actual PTE
+// bytes through the cache hierarchy as mem.KindPTEFetch accesses — so
+// a TLB-missing load opens DRAM rows in the table region exactly the
+// way PThammer's implicit accesses do.
 package machine
 
 import (
@@ -14,8 +21,10 @@ import (
 	"pthammer/internal/cache"
 	"pthammer/internal/dram"
 	"pthammer/internal/mem"
+	"pthammer/internal/pagetable"
 	"pthammer/internal/perf"
 	"pthammer/internal/phys"
+	"pthammer/internal/ptwalk"
 	"pthammer/internal/timing"
 	"pthammer/internal/tlb"
 )
@@ -34,6 +43,9 @@ type Config struct {
 	L2   cache.Config
 	LLC  cache.Config
 	TLB  tlb.Config
+	// Walk sizes the walker's paging-structure caches; the zero value
+	// selects ptwalk.Defaults.
+	Walk ptwalk.Config
 
 	// Noise parameters for timed measurements; NoiseProb 0 keeps the
 	// machine fully deterministic.
@@ -80,30 +92,14 @@ type Machine struct {
 	counters *perf.Counters
 
 	tlb    *tlb.TLB
+	walker *ptwalk.Walker
+	tables *pagetable.Tables
 	caches *cache.Hierarchy
 	dram   *dram.DRAM
 
 	// noisy caches NoiseProb != 0 so the quiet (deterministic) hot path
 	// skips the noise sampler entirely.
 	noisy bool
-}
-
-// stubWalker stands in for the hardware page walker until the real one
-// (which fetches PTEs through the cache hierarchy, firing
-// L1PTEMemoryFetch) lands in a later PR. It charges a fixed four-level
-// walk and counts the completed walk.
-type stubWalker struct {
-	clock    *timing.Clock
-	counters *perf.Counters
-	stepCost timing.Cycles
-}
-
-func (w *stubWalker) Lookup(mem.Access) mem.Result {
-	const levels = 4 // PML4 → PDPT → PD → PT
-	cost := w.stepCost * levels
-	w.clock.Advance(cost)
-	w.counters.Inc(perf.PageWalkCompleted)
-	return mem.Result{Latency: cost, Hit: false, Source: mem.LevelPageWalk}
 }
 
 // New validates the config and wires the machine.
@@ -139,7 +135,28 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	walker := &stubWalker{clock: clock, counters: counters, stepCost: cfg.Lat.PageWalkStep}
+	// The kernel's page-table pool sits at the top of physical memory,
+	// sized so identity-mapping the whole machine can never exhaust it.
+	tableFrames := pagetable.FramesToMap(cfg.MemBytes)
+	totalFrames := cfg.MemBytes / phys.FrameSize
+	if tableFrames >= totalFrames {
+		return nil, fmt.Errorf("machine: %d-byte memory too small for its %d-frame page-table pool",
+			cfg.MemBytes, tableFrames)
+	}
+	tables, err := pagetable.New(pmem, phys.Frame(totalFrames-tableFrames), tableFrames)
+	if err != nil {
+		return nil, err
+	}
+	walker, err := ptwalk.New(cfg.Walk, tables, caches, pmem, clock, counters, cfg.Lat)
+	if err != nil {
+		return nil, err
+	}
+	// Demand paging: first touch of a page identity-maps it. The
+	// handler maps the whole path for va, so the walk's re-read of the
+	// faulting entry — and every level below it — finds it present.
+	walker.Fault = func(va phys.Addr, _ int) {
+		tables.Map(va, phys.FrameOf(va))
+	}
 	t, err := tlb.New(cfg.TLB, walker, clock, counters, cfg.Lat)
 	if err != nil {
 		return nil, err
@@ -151,6 +168,8 @@ func New(cfg Config) (*Machine, error) {
 		noise:    noise,
 		counters: counters,
 		tlb:      t,
+		walker:   walker,
+		tables:   tables,
 		caches:   caches,
 		dram:     d,
 		noisy:    cfg.NoiseProb != 0,
@@ -166,18 +185,27 @@ func MustNew(cfg Config) *Machine {
 	return m
 }
 
-// Load performs one demand load at the physical address: translation
-// through the TLB chain, then data through the cache chain. The result
+// Load performs one demand load at the virtual address: translation
+// through the TLB chain (walking the page tables on a full miss), then
+// data through the cache chain at the physical address the translation
+// resolved. Under the machine's identity mapping the two coincide —
+// until a flipped page-table bit makes them diverge. The result
 // aggregates both halves — Latency is the total cycles charged
 // (including any noise spike), Hit/Source report where the data was
-// served. Panics on an out-of-range address, mirroring phys.
+// served. Panics on an out-of-range virtual address, mirroring phys,
+// and on a (corrupted) translation that resolves outside memory.
 func (m *Machine) Load(a phys.Addr) mem.Result {
 	if !m.mem.Contains(a) {
 		panic(fmt.Sprintf("machine: load at %#x outside %d-byte memory", uint64(a), m.mem.Size()))
 	}
 	acc := mem.Access{Addr: a, Kind: mem.KindLoad}
-	tres := m.tlb.Lookup(acc)
-	cres := m.caches.Lookup(acc)
+	frame, tres := m.tlb.Translate(acc)
+	pa := frame.Addr() + phys.Addr(phys.Offset(a))
+	if !m.mem.Contains(pa) {
+		panic(fmt.Sprintf("machine: %#x translates to %#x outside %d-byte memory (corrupted page tables?)",
+			uint64(a), uint64(pa), m.mem.Size()))
+	}
+	cres := m.caches.Lookup(mem.Access{Addr: pa, Kind: mem.KindLoad})
 	total := tres.Latency + cres.Latency
 	if m.noisy {
 		if spike := m.noise.Sample(); spike > 0 {
@@ -186,6 +214,45 @@ func (m *Machine) Load(a phys.Addr) mem.Result {
 		}
 	}
 	return mem.Result{Latency: total, Hit: tres.Hit && cres.Hit, Source: cres.Source}
+}
+
+// Translate resolves the virtual address the way a load would —
+// through the TLB, walking (and demand-mapping) on a miss, charging
+// the shared clock — and returns the physical frame plus the
+// translation-side result. Tests use it to observe what a corrupted
+// page table resolves to without the data-side access.
+func (m *Machine) Translate(a phys.Addr) (phys.Frame, mem.Result) {
+	if !m.mem.Contains(a) {
+		panic(fmt.Sprintf("machine: translate at %#x outside %d-byte memory", uint64(a), m.mem.Size()))
+	}
+	return m.tlb.Translate(mem.Access{Addr: a, Kind: mem.KindLoad})
+}
+
+// InvalidatePage is the simulated invlpg: it drops the page's
+// translation from both TLB levels and its entries from the walker's
+// paging-structure caches. Only the kernel can execute it — the paper's
+// attacker substitutes TLB eviction sets — so scenarios use it as the
+// privileged baseline. It charges no cycles and reports whether any
+// structure held state for the page.
+func (m *Machine) InvalidatePage(a phys.Addr) bool {
+	inTLB := m.tlb.Invalidate(a)
+	inPS := m.walker.Invalidate(a)
+	return inTLB || inPS
+}
+
+// PTEAddr returns the physical address of the page-table entry
+// consulted at the given level (1 = PT … 4 = PML4) when translating a.
+// ok is false while the path is not yet mapped. Hammer scenarios use
+// it to aim flushes at the cache lines holding PTEs.
+func (m *Machine) PTEAddr(a phys.Addr, level int) (phys.Addr, bool) {
+	return m.tables.EntryAddr(a, level)
+}
+
+// Premap eagerly identity-maps every page of [start, start+bytes),
+// the way a kernel pre-faults a region. Benchmarks use it to pull
+// demand-mapping table writes out of measured loops.
+func (m *Machine) Premap(start phys.Addr, bytes uint64) {
+	m.tables.MapRange(start, bytes)
 }
 
 // LoadN performs Load on every address in order, appending the
@@ -241,6 +308,12 @@ func (m *Machine) Caches() *cache.Hierarchy { return m.caches }
 
 // TLB returns the TLB chain.
 func (m *Machine) TLB() *tlb.TLB { return m.tlb }
+
+// Walker returns the hardware page walker.
+func (m *Machine) Walker() *ptwalk.Walker { return m.walker }
+
+// PageTables returns the machine's page tables.
+func (m *Machine) PageTables() *pagetable.Tables { return m.tables }
 
 // Config returns the configuration the machine was built with.
 func (m *Machine) Config() Config { return m.cfg }

@@ -116,3 +116,13 @@ type Result struct {
 type Device interface {
 	Lookup(Access) Result
 }
+
+// Translator is the translation side of the hierarchy: it resolves a
+// virtual access to the physical frame it maps to, charging the cost
+// of however it learned that (TLB hit, paging-structure cache hit, or
+// a full page walk fetching PTE bytes through the data hierarchy).
+// The same clock contract as Device applies: the shared clock advances
+// by exactly the reported Latency.
+type Translator interface {
+	Translate(Access) (phys.Frame, Result)
+}

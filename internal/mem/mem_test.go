@@ -131,6 +131,49 @@ func TestLookupInsertMatchesLookupThenInsert(t *testing.T) {
 	}
 }
 
+// TestSetAssocValues exercises the payload plumbing the TLB and
+// paging-structure caches rely on: values ride along inserts, survive
+// refreshes and the packed-prefix swap Invalidate performs, and die
+// with eviction.
+func TestSetAssocValues(t *testing.T) {
+	s := NewSetAssoc(1, 3)
+	s.InsertV(10, 100)
+	s.InsertV(20, 200)
+	s.InsertV(30, 300)
+
+	if v, hit := s.LookupV(20); !hit || v != 200 {
+		t.Fatalf("LookupV(20) = %d/%v, want 200/true", v, hit)
+	}
+	if v, hit := s.LookupV(99); hit || v != 0 {
+		t.Fatalf("LookupV(99) = %d/%v, want miss", v, hit)
+	}
+
+	// A hit via the fused probe returns the stored value, not the
+	// provided one: cached translations are not silently remapped.
+	if hit, cur, _, _ := s.LookupInsertV(10, 999); !hit || cur != 100 {
+		t.Fatalf("LookupInsertV(10) = %v/%d, want hit/100", hit, cur)
+	}
+
+	// Invalidate the middle entry: the packed-prefix swap must carry
+	// tag 30's value along with its tag.
+	s.Invalidate(20)
+	if v, hit := s.LookupV(30); !hit || v != 300 {
+		t.Fatalf("after Invalidate(20), LookupV(30) = %d/%v, want 300/true", v, hit)
+	}
+
+	// Refill, touch everything except 10 so it is LRU, then overflow:
+	// the eviction must surface tag 10 and install 50's value.
+	s.InsertV(40, 400)
+	s.LookupV(30)
+	s.LookupV(40)
+	if _, _, evTag, evicted := s.LookupInsertV(50, 500); !evicted || evTag != 10 {
+		t.Fatalf("eviction = %d/%v, want 10/true", evTag, evicted)
+	}
+	if v, hit := s.LookupV(50); !hit || v != 500 {
+		t.Fatalf("LookupV(50) = %d/%v, want 500/true", v, hit)
+	}
+}
+
 // TestLookupMissDoesNotPerturbLRU pins the tick fix: failed lookups
 // must not advance replacement state, so the LRU victim is decided
 // only by hits and inserts.

@@ -20,6 +20,12 @@ type SetAssoc struct {
 	ways    uint64
 	setMask uint64
 	slots   []saEntry
+	// vals[i] is the payload stored alongside slots[i]. Tag-only users
+	// (the data caches) never touch it; the TLB stores the physical
+	// frame a page maps to, the paging-structure caches the next-level
+	// table frame. Kept out of saEntry so tag probes stay 16 bytes per
+	// scanned way.
+	vals []uint64
 	// live[set] is the number of valid entries packed at the front of
 	// the set.
 	live []uint16
@@ -46,6 +52,7 @@ func NewSetAssoc(sets, ways int) *SetAssoc {
 		ways:    uint64(ways),
 		setMask: uint64(sets) - 1,
 		slots:   make([]saEntry, uint64(sets)*uint64(ways)),
+		vals:    make([]uint64, uint64(sets)*uint64(ways)),
 		live:    make([]uint16, sets),
 	}
 }
@@ -72,11 +79,30 @@ func (s *SetAssoc) Lookup(tag uint64) bool {
 	return false
 }
 
+// LookupV is Lookup for value-carrying users: a hit refreshes the
+// tag's LRU age and returns the stored payload.
+func (s *SetAssoc) LookupV(tag uint64) (val uint64, hit bool) {
+	idx, ways := s.set(tag)
+	for i := range ways {
+		if ways[i].tag == tag {
+			s.tick++
+			ways[i].used = s.tick
+			return s.vals[idx*s.ways+uint64(i)], true
+		}
+	}
+	return 0, false
+}
+
 // Insert places the tag, evicting the LRU way if the set is full. It
 // returns the evicted tag (valid only when evicted is true); inserting
 // an already-present tag just refreshes it.
 func (s *SetAssoc) Insert(tag uint64) (evictedTag uint64, evicted bool) {
-	_, evictedTag, evicted = s.LookupInsert(tag)
+	return s.InsertV(tag, 0)
+}
+
+// InsertV is Insert with a payload attached to the tag.
+func (s *SetAssoc) InsertV(tag, val uint64) (evictedTag uint64, evicted bool) {
+	_, _, evictedTag, evicted = s.LookupInsertV(tag, val)
 	return evictedTag, evicted
 }
 
@@ -85,13 +111,24 @@ func (s *SetAssoc) Insert(tag uint64) (evictedTag uint64, evicted bool) {
 // the set is full. It fuses the Lookup-then-Insert pair every
 // cache/TLB miss path used to pay as two scans of the same set.
 func (s *SetAssoc) LookupInsert(tag uint64) (hit bool, evictedTag uint64, evicted bool) {
+	hit, _, evictedTag, evicted = s.LookupInsertV(tag, 0)
+	return hit, evictedTag, evicted
+}
+
+// LookupInsertV is the value-carrying fused probe. On a hit it
+// refreshes the tag's LRU age and returns the payload already stored
+// (the provided val is ignored: a cached translation is never silently
+// remapped — invalidate first). On a miss it inserts the tag with val,
+// evicting the LRU way if the set is full.
+func (s *SetAssoc) LookupInsertV(tag, val uint64) (hit bool, cur uint64, evictedTag uint64, evicted bool) {
 	idx, ways := s.set(tag)
+	base := idx * s.ways
 	victim := 0
 	for i := range ways {
 		if ways[i].tag == tag {
 			s.tick++
 			ways[i].used = s.tick
-			return true, 0, false
+			return true, s.vals[base+uint64(i)], 0, false
 		}
 		if ways[i].used < ways[victim].used {
 			victim = i
@@ -100,26 +137,32 @@ func (s *SetAssoc) LookupInsert(tag uint64) (hit bool, evictedTag uint64, evicte
 	s.tick++
 	if uint64(len(ways)) < s.ways {
 		// Room left: grow the live prefix instead of evicting.
-		s.slots[idx*s.ways+uint64(len(ways))] = saEntry{tag: tag, used: s.tick}
+		slot := base + uint64(len(ways))
+		s.slots[slot] = saEntry{tag: tag, used: s.tick}
+		s.vals[slot] = val
 		s.live[idx]++
-		return false, 0, false
+		return false, 0, 0, false
 	}
 	ev := ways[victim]
 	ways[victim] = saEntry{tag: tag, used: s.tick}
-	return false, ev.tag, true
+	s.vals[base+uint64(victim)] = val
+	return false, 0, ev.tag, true
 }
 
 // Invalidate drops the tag if present, reporting whether it was. The
 // last live entry moves into the vacated slot to keep the prefix
 // packed (slot order is meaningless; LRU lives in the stamps).
 func (s *SetAssoc) Invalidate(tag uint64) bool {
-	_, ways := s.set(tag)
+	idx, ways := s.set(tag)
+	base := idx * s.ways
 	for i := range ways {
 		if ways[i].tag == tag {
 			last := len(ways) - 1
 			ways[i] = ways[last]
 			ways[last] = saEntry{}
-			s.live[tag&s.setMask]--
+			s.vals[base+uint64(i)] = s.vals[base+uint64(last)]
+			s.vals[base+uint64(last)] = 0
+			s.live[idx]--
 			return true
 		}
 	}

@@ -1,0 +1,205 @@
+// Package pagetable owns the radix page-table layout the hardware page
+// walker (internal/ptwalk) traverses. Tables are real bytes in
+// phys.Memory — one 4 KiB frame per table, 512 little-endian 8-byte
+// entries per frame, four levels (PML4 → PDPT → PD → PT) exactly like
+// x86-64 4 KiB paging — so a rowhammer bit flip landing in a table
+// frame (phys.FlipBit) changes what later walks resolve to, which is
+// PThammer's exploitation step.
+//
+// Table frames come from a reserved region of physical memory managed
+// by a bump allocator (the simulated kernel's page-table pool, placed
+// at the top of DRAM by the machine facade). The region is sized by
+// FramesToMap so a full identity mapping of the machine can never
+// exhaust it.
+package pagetable
+
+import (
+	"fmt"
+
+	"pthammer/internal/phys"
+)
+
+const (
+	// EntriesPerTable is the number of entries in one table frame.
+	EntriesPerTable = phys.FrameSize / EntryBytes
+	// EntryBytes is the size of one table entry.
+	EntryBytes = 8
+	// Levels is the depth of the radix tree: PML4, PDPT, PD, PT.
+	Levels = 4
+
+	// IndexBits is the radix width: how many VA bits each level consumes.
+	IndexBits = 9
+
+	indexMask = EntriesPerTable - 1
+)
+
+// Entry is one page-table entry in the x86-64 layout subset the
+// simulator uses: bit 0 is the present bit and bits 12..51 hold the
+// next-level (or final, at the PT level) frame number.
+type Entry uint64
+
+const (
+	entryPresent   Entry = 1
+	entryFrameMask Entry = 0x000F_FFFF_FFFF_F000
+)
+
+// NewEntry builds a present entry pointing at the frame.
+func NewEntry(f phys.Frame) Entry {
+	return Entry(f.Addr())&entryFrameMask | entryPresent
+}
+
+// Present reports whether the entry maps anything.
+func (e Entry) Present() bool { return e&entryPresent != 0 }
+
+// Frame returns the frame number the entry points to.
+func (e Entry) Frame() phys.Frame { return phys.FrameOf(phys.Addr(e & entryFrameMask)) }
+
+// Index returns the radix index the given level uses for the virtual
+// address: level 4 is the PML4 (bits 39..47) down to level 1, the PT
+// (bits 12..20).
+func Index(va phys.Addr, level int) uint64 {
+	if level < 1 || level > Levels {
+		panic(fmt.Sprintf("pagetable: level %d out of range", level))
+	}
+	return uint64(va) >> (phys.FrameShift + IndexBits*(level-1)) & indexMask
+}
+
+// EntryAddrIn is the physical address of the entry a walk of va
+// consults inside the given table frame at the given level. It is the
+// single place the entry-position math lives; the hardware walker
+// (internal/ptwalk) computes its fetch targets with it as it descends.
+func EntryAddrIn(table phys.Frame, va phys.Addr, level int) phys.Addr {
+	return table.Addr() + phys.Addr(Index(va, level)*EntryBytes)
+}
+
+// Span returns how many bytes of virtual address space one entry at
+// the given level maps: 4 KiB at the PT, 2 MiB at the PD, and so on.
+func Span(level int) uint64 {
+	if level < 1 || level > Levels {
+		panic(fmt.Sprintf("pagetable: level %d out of range", level))
+	}
+	return uint64(phys.FrameSize) << (IndexBits * (level - 1))
+}
+
+// FramesToMap returns how many table frames a full 4 KiB-page mapping
+// of memBytes of address space needs: the PTs to hold every PTE, the
+// PDs above them, the PDPTs above those, and one PML4.
+func FramesToMap(memBytes uint64) uint64 {
+	ceil := func(n uint64) uint64 { return (n + EntriesPerTable - 1) / EntriesPerTable }
+	pages := (memBytes + phys.FrameSize - 1) / phys.FrameSize
+	pts := ceil(pages)
+	pds := ceil(pts)
+	pdpts := ceil(pds)
+	return 1 + pdpts + pds + pts
+}
+
+// Tables is one address space: a root (CR3) table plus the bump
+// allocator handing out table frames from the reserved region.
+type Tables struct {
+	mem    *phys.Memory
+	base   phys.Frame
+	frames uint64
+	next   uint64
+	root   phys.Frame
+}
+
+// New creates an address space whose table frames come from the
+// region [base, base+frames). The root table is allocated (and
+// zeroed) immediately.
+func New(m *phys.Memory, base phys.Frame, frames uint64) (*Tables, error) {
+	if m == nil {
+		return nil, fmt.Errorf("pagetable: memory must be non-nil")
+	}
+	if frames == 0 {
+		return nil, fmt.Errorf("pagetable: table region must hold at least the root frame")
+	}
+	end := (uint64(base) + frames) * phys.FrameSize
+	if end > m.Size() || end < uint64(base)*phys.FrameSize {
+		return nil, fmt.Errorf("pagetable: region [%#x, %#x) outside %d-byte memory",
+			base.Addr(), end, m.Size())
+	}
+	t := &Tables{mem: m, base: base, frames: frames}
+	t.root = t.alloc()
+	return t, nil
+}
+
+// alloc hands out the next table frame, zeroed. Exhausting the region
+// panics: the machine sizes it with FramesToMap, so running out is a
+// simulator bug, not a runtime condition.
+func (t *Tables) alloc() phys.Frame {
+	if t.next == t.frames {
+		panic(fmt.Sprintf("pagetable: region of %d frames exhausted", t.frames))
+	}
+	f := t.base + phys.Frame(t.next)
+	t.next++
+	t.mem.ZeroFrame(f)
+	return f
+}
+
+// Root returns the root (CR3) table frame.
+func (t *Tables) Root() phys.Frame { return t.root }
+
+// Allocated returns how many table frames have been handed out.
+func (t *Tables) Allocated() int { return int(t.next) }
+
+// Region returns the table-frame pool as [base, base+frames).
+func (t *Tables) Region() (base phys.Frame, frames uint64) { return t.base, t.frames }
+
+// Map installs va → frame, allocating any missing intermediate tables.
+// An existing mapping is overwritten.
+func (t *Tables) Map(va phys.Addr, f phys.Frame) {
+	table := t.root
+	for level := Levels; level > 1; level-- {
+		ea := EntryAddrIn(table, va, level)
+		e := Entry(t.mem.Read64(ea))
+		if !e.Present() {
+			e = NewEntry(t.alloc())
+			t.mem.Write64(ea, uint64(e))
+		}
+		table = e.Frame()
+	}
+	t.mem.Write64(EntryAddrIn(table, va, 1), uint64(NewEntry(f)))
+}
+
+// MapRange identity-maps every page of [start, start+bytes).
+func (t *Tables) MapRange(start phys.Addr, bytes uint64) {
+	for off := uint64(0); off < bytes; off += phys.FrameSize {
+		va := start + phys.Addr(off)
+		t.Map(va, phys.FrameOf(va))
+	}
+}
+
+// EntryAddr returns the physical address of the entry consulted at the
+// given level when translating va, walking the current table contents.
+// ok is false when an intermediate entry on the path is not present.
+// Level Levels (the PML4) never fails: its table is the root.
+func (t *Tables) EntryAddr(va phys.Addr, level int) (phys.Addr, bool) {
+	if level < 1 || level > Levels {
+		panic(fmt.Sprintf("pagetable: level %d out of range", level))
+	}
+	table := t.root
+	for l := Levels; l > level; l-- {
+		e := Entry(t.mem.Read64(EntryAddrIn(table, va, l)))
+		if !e.Present() {
+			return 0, false
+		}
+		table = e.Frame()
+	}
+	return EntryAddrIn(table, va, level), true
+}
+
+// Resolve walks the tables without charging any simulated time and
+// returns the frame va maps to. ok is false when the path is
+// incomplete. This is the reference translation tests compare the
+// timed walker (and corrupted tables) against.
+func (t *Tables) Resolve(va phys.Addr) (phys.Frame, bool) {
+	table := t.root
+	for level := Levels; level >= 1; level-- {
+		e := Entry(t.mem.Read64(EntryAddrIn(table, va, level)))
+		if !e.Present() {
+			return 0, false
+		}
+		table = e.Frame()
+	}
+	return table, true
+}

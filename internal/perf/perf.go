@@ -34,6 +34,17 @@ const (
 	// L1PTEMemoryFetch counts level-1 page-table entries fetched from
 	// DRAM (the implicit hammer accesses PThammer relies on).
 	L1PTEMemoryFetch
+	// WalkStepPML4E..WalkStepPTE count the entry fetches the walker
+	// issued at each level; a paging-structure cache hit suppresses the
+	// upper-level steps it skips, so the per-level split is what the
+	// PS-cache experiments read.
+	WalkStepPML4E
+	// WalkStepPDPTE counts PDPT-level entry fetches.
+	WalkStepPDPTE
+	// WalkStepPDE counts PD-level entry fetches.
+	WalkStepPDE
+	// WalkStepPTE counts PT-level (leaf) entry fetches.
+	WalkStepPTE
 
 	numEvents
 )
@@ -59,6 +70,14 @@ func (e Event) String() string {
 		return "page_walker.pscache_hit"
 	case L1PTEMemoryFetch:
 		return "page_walker.l1pte_memory_fetch"
+	case WalkStepPML4E:
+		return "page_walker.step_pml4e"
+	case WalkStepPDPTE:
+		return "page_walker.step_pdpte"
+	case WalkStepPDE:
+		return "page_walker.step_pde"
+	case WalkStepPTE:
+		return "page_walker.step_pte"
 	default:
 		return fmt.Sprintf("perf.Event(%d)", int(e))
 	}

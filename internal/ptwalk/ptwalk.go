@@ -1,0 +1,259 @@
+// Package ptwalk is the hardware page walker: the mem.Translator the
+// TLB chain falls back to on a full miss. It replaces the machine's
+// old fixed-cost stub with the mechanism PThammer actually exploits —
+// on every walk the MMU issues *implicit*, kernel-privileged memory
+// accesses to fetch page-table entries, and those fetches traverse the
+// same L1 → L2 → LLC → DRAM path as explicit loads. A user-space load
+// whose translation misses the TLB therefore opens DRAM rows and
+// increments per-row ACT counters in the banks holding the page
+// tables, without the user program ever addressing them.
+//
+// # Page-table layout and walk
+//
+// The walker traverses the radix tables owned by internal/pagetable:
+// four levels (PML4 → PDPT → PD → PT), one 4 KiB frame per table, 512
+// little-endian 8-byte entries per frame. For a virtual address va the
+// walk starts at the root (CR3) frame and, per level, issues a
+// mem.KindPTEFetch access for the 8-byte entry at
+//
+//	table.Addr() + Index(va, level)*8
+//
+// through the cache hierarchy (charging whatever that hop costs — an
+// L1 hit if the entry's line is cached, a DRAM row activation if not),
+// charges the fixed per-level PageWalkStep on top, and then reads the
+// actual entry bytes from phys.Memory. The frame bits of the fetched
+// entry select the next level's table, so a bit flipped in a table
+// frame (phys.FlipBit — the rowhammer disturbance) redirects every
+// later walk through it: translation corruption falls out of the
+// layout instead of being simulated.
+//
+// # Paging-structure caches
+//
+// Real MMUs short-circuit walks with small caches over the upper
+// levels (Intel's PML4E/PDPTE/PDE caches). The walker models all
+// three: before walking it probes the PDE cache (tag va>>21, value =
+// PT frame), then the PDPTE cache (va>>30 → PD frame), then the PML4E
+// cache (va>>39 → PDPT frame). The deepest hit skips every level above
+// it, charges timing.PSCacheHit once, and counts perf.PSCacheHit; each
+// level actually walked counts its perf.WalkStep* event and installs
+// its entry into the matching cache. A PT-level fetch that is served
+// from DRAM counts perf.L1PTEMemoryFetch — the paper's implicit
+// hammer accesses. Invalidate drops one address's entries from all
+// three caches (the paging-structure half of invlpg).
+//
+// # Demand mapping
+//
+// A walk that finds a non-present entry raises a fault to the Fault
+// handler (the machine installs an identity-mapping handler, playing
+// the OS populating tables on first touch), then re-reads the entry.
+// The handler's table writes are direct phys stores and charge no
+// simulated time: only the hardware walk itself is timed.
+package ptwalk
+
+import (
+	"fmt"
+
+	"pthammer/internal/mem"
+	"pthammer/internal/pagetable"
+	"pthammer/internal/perf"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+)
+
+// PSCacheConfig sizes one paging-structure cache in entries.
+type PSCacheConfig struct {
+	Entries int
+	Ways    int
+}
+
+// Config sizes the three paging-structure caches. The zero value
+// selects the Defaults.
+type Config struct {
+	PML4E PSCacheConfig
+	PDPTE PSCacheConfig
+	PDE   PSCacheConfig
+}
+
+// Defaults returns Sandy Bridge-class paging-structure cache shapes:
+// tiny fully-associative upper-level caches over a larger PDE cache.
+func Defaults() Config {
+	return Config{
+		PML4E: PSCacheConfig{Entries: 4, Ways: 4},
+		PDPTE: PSCacheConfig{Entries: 4, Ways: 4},
+		PDE:   PSCacheConfig{Entries: 32, Ways: 4},
+	}
+}
+
+// withDefaults fills a zero config with Defaults, so machine presets
+// need not spell the PS cache shapes out.
+func (c Config) withDefaults() Config {
+	if c == (Config{}) {
+		return Defaults()
+	}
+	return c
+}
+
+// Validate reports an error for degenerate or non-indexable shapes.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	for _, pc := range []struct {
+		name string
+		cfg  PSCacheConfig
+	}{{"PML4E", c.PML4E}, {"PDPTE", c.PDPTE}, {"PDE", c.PDE}} {
+		switch {
+		case pc.cfg.Entries <= 0 || pc.cfg.Ways <= 0:
+			return fmt.Errorf("ptwalk: %s cache entries/ways must be positive (got %d/%d)",
+				pc.name, pc.cfg.Entries, pc.cfg.Ways)
+		case pc.cfg.Entries%pc.cfg.Ways != 0:
+			return fmt.Errorf("ptwalk: %s cache entries %d not divisible by ways %d",
+				pc.name, pc.cfg.Entries, pc.cfg.Ways)
+		}
+		if sets := pc.cfg.Entries / pc.cfg.Ways; sets&(sets-1) != 0 {
+			return fmt.Errorf("ptwalk: %s cache set count %d must be a power of two", pc.name, sets)
+		}
+	}
+	return nil
+}
+
+// walkStepEvent[level-1] is the perf event counting entry fetches at
+// that level.
+var walkStepEvent = [pagetable.Levels]perf.Event{
+	perf.WalkStepPTE, perf.WalkStepPDE, perf.WalkStepPDPTE, perf.WalkStepPML4E,
+}
+
+// Walker implements mem.Translator over a pagetable.Tables instance.
+type Walker struct {
+	tables   *pagetable.Tables
+	memory   mem.Device // the L1→L2→LLC→DRAM chain PTE fetches traverse
+	pmem     *phys.Memory
+	clock    *timing.Clock
+	counters *perf.Counters
+
+	// psc[level-2] caches entries fetched at that level: index 0 is the
+	// PDE cache (tag va>>21), 1 the PDPTE cache (va>>30), 2 the PML4E
+	// cache (va>>39). The cached value is the next-level table frame
+	// the entry pointed at.
+	psc [pagetable.Levels - 1]*mem.SetAssoc
+
+	stepCost timing.Cycles
+	pscHit   timing.Cycles
+
+	// Fault is invoked when a walk hits a non-present entry at the
+	// given level; it must make the entry present (typically by mapping
+	// va). A nil handler makes a non-present entry panic — standalone
+	// walkers in tests pre-map their address space.
+	Fault func(va phys.Addr, level int)
+}
+
+// New builds the walker over the given tables, fetching entries
+// through memory (the cache hierarchy).
+func New(cfg Config, tables *pagetable.Tables, memory mem.Device, pmem *phys.Memory, clock *timing.Clock, counters *perf.Counters, lat timing.LatencyTable) (*Walker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	if tables == nil || memory == nil || pmem == nil || clock == nil || counters == nil {
+		return nil, fmt.Errorf("ptwalk: tables, memory, pmem, clock and counters must be non-nil")
+	}
+	cfg = cfg.withDefaults()
+	w := &Walker{
+		tables:   tables,
+		memory:   memory,
+		pmem:     pmem,
+		clock:    clock,
+		counters: counters,
+		stepCost: lat.PageWalkStep,
+		pscHit:   lat.PSCacheHit,
+	}
+	for i, pc := range []PSCacheConfig{cfg.PDE, cfg.PDPTE, cfg.PML4E} {
+		w.psc[i] = mem.NewSetAssoc(pc.Entries/pc.Ways, pc.Ways)
+	}
+	return w, nil
+}
+
+// pscTag returns the tag the paging-structure cache covering `level`
+// uses: the virtual address truncated to that level's span. psc[i]
+// covers level i+2.
+func pscTag(va phys.Addr, level int) uint64 {
+	return uint64(va) >> (phys.FrameShift + pagetable.IndexBits*(level-1))
+}
+
+// Translate performs the hardware walk for the access and returns the
+// frame the leaf PTE maps va to. The reported latency is everything
+// the walk charged: an optional PS-cache hit, and per walked level the
+// PTE-fetch memory access plus the fixed PageWalkStep.
+func (w *Walker) Translate(a mem.Access) (phys.Frame, mem.Result) {
+	va := a.Addr
+	table := w.tables.Root()
+	start := pagetable.Levels
+	var total timing.Cycles
+
+	// Deepest paging-structure cache hit wins: start the walk below it.
+	for level := 2; level <= pagetable.Levels; level++ {
+		if v, hit := w.psc[level-2].LookupV(pscTag(va, level)); hit {
+			table = phys.Frame(v)
+			start = level - 1
+			w.clock.Advance(w.pscHit)
+			w.counters.Inc(perf.PSCacheHit)
+			total += w.pscHit
+			break
+		}
+	}
+
+	for level := start; level >= 1; level-- {
+		entryAddr := pagetable.EntryAddrIn(table, va, level)
+		res := w.memory.Lookup(mem.Access{Addr: entryAddr, Kind: mem.KindPTEFetch})
+		w.clock.Advance(w.stepCost)
+		w.counters.Inc(walkStepEvent[level-1])
+		if level == 1 && res.Source == mem.LevelDRAM {
+			w.counters.Inc(perf.L1PTEMemoryFetch)
+		}
+		total += res.Latency + w.stepCost
+
+		e := pagetable.Entry(w.pmem.Read64(entryAddr))
+		if !e.Present() {
+			if w.Fault == nil {
+				panic(fmt.Sprintf("ptwalk: non-present level-%d entry for %#x and no fault handler", level, uint64(va)))
+			}
+			w.Fault(va, level)
+			e = pagetable.Entry(w.pmem.Read64(entryAddr))
+			if !e.Present() {
+				panic(fmt.Sprintf("ptwalk: fault handler left level-%d entry for %#x non-present", level, uint64(va)))
+			}
+		}
+		next := e.Frame()
+		if level >= 2 {
+			w.psc[level-2].InsertV(pscTag(va, level), uint64(next))
+		}
+		table = next
+	}
+
+	w.counters.Inc(perf.PageWalkCompleted)
+	return table, mem.Result{Latency: total, Hit: false, Source: mem.LevelPageWalk}
+}
+
+// Invalidate drops va's entries from all three paging-structure
+// caches — the paging-structure half of invlpg (the TLB half lives in
+// internal/tlb). It reports whether any cache held an entry.
+func (w *Walker) Invalidate(va phys.Addr) bool {
+	any := false
+	for level := 2; level <= pagetable.Levels; level++ {
+		if w.psc[level-2].Invalidate(pscTag(va, level)) {
+			any = true
+		}
+	}
+	return any
+}
+
+// PSContains reports which paging-structure caches currently hold an
+// entry covering va, for tests: PDE, PDPTE, PML4E order.
+func (w *Walker) PSContains(va phys.Addr) (pde, pdpte, pml4e bool) {
+	return w.psc[0].Contains(pscTag(va, 2)),
+		w.psc[1].Contains(pscTag(va, 3)),
+		w.psc[2].Contains(pscTag(va, 4))
+}
+
+// Tables returns the page tables the walker traverses.
+func (w *Walker) Tables() *pagetable.Tables { return w.tables }

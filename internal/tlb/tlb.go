@@ -1,8 +1,9 @@
 // Package tlb models the two-level data-TLB over 4 KiB pages: a small
-// first-level dTLB backed by the larger shared sTLB. A full miss is
-// forwarded to the walker device (the hardware page walker in later
-// PRs; the machine facade supplies a fixed-cost stub until then) and
-// the translation is installed in both levels on the way back. The
+// first-level dTLB backed by the larger shared sTLB. Entries map a
+// virtual page number to the physical frame the page tables resolved
+// it to. A full miss is forwarded to the walker (internal/ptwalk's
+// hardware page walker, a mem.Translator) and the translation it
+// returns is installed in both levels on the way back. The
 // dTLB/sTLB/walk split is what Figure 5's three latency plateaus and
 // the dtlb_load_misses.* counters measure.
 package tlb
@@ -56,20 +57,20 @@ func newLevel(entries, ways int) *mem.SetAssoc {
 	return mem.NewSetAssoc(entries/ways, ways)
 }
 
-// TLB is the dTLB + sTLB chain. It implements mem.Device: Lookup
-// answers the translation side of an access, forwarding full misses to
-// the walker.
+// TLB is the dTLB + sTLB chain. It implements mem.Translator:
+// Translate answers the translation side of an access, forwarding
+// full misses to the walker.
 type TLB struct {
 	l1, l2   *mem.SetAssoc
-	walker   mem.Device
+	walker   mem.Translator
 	clock    *timing.Clock
 	counters *perf.Counters
 
 	l1Hit, l2Hit timing.Cycles
 }
 
-// New builds the TLB chain in front of the given walker device.
-func New(cfg Config, walker mem.Device, clock *timing.Clock, counters *perf.Counters, lat timing.LatencyTable) (*TLB, error) {
+// New builds the TLB chain in front of the given walker.
+func New(cfg Config, walker mem.Translator, clock *timing.Clock, counters *perf.Counters, lat timing.LatencyTable) (*TLB, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,29 +94,30 @@ func New(cfg Config, walker mem.Device, clock *timing.Clock, counters *perf.Coun
 // vpnOf returns the 4 KiB virtual page number of the access.
 func vpnOf(a phys.Addr) uint64 { return uint64(a) >> phys.FrameShift }
 
-// Lookup translates the access's page. dTLB hit charges TLBL1Hit; an
-// sTLB hit charges TLBL2Hit, refills the dTLB, and counts
-// dtlb_load_misses.stlb_hit; a full miss counts
+// Translate resolves the access's page to its physical frame. A dTLB
+// hit charges TLBL1Hit; an sTLB hit charges TLBL2Hit, refills the
+// dTLB, and counts dtlb_load_misses.stlb_hit; a full miss counts
 // dtlb_load_misses.miss_causes_a_walk, forwards to the walker, and
-// installs the translation in both levels.
-// Each level is probed with one fused LookupInsert scan: a level that
-// misses gets the translation installed no matter which level (or the
-// walker) ends up serving it, so the miss path fills in the same pass
-// that detected the miss.
-func (t *TLB) Lookup(a mem.Access) mem.Result {
+// installs the frame the walk resolved in both levels. The hit paths
+// are a single LookupV scan; the miss path's extra insert scan is
+// noise next to the walk it just paid for.
+func (t *TLB) Translate(a mem.Access) (phys.Frame, mem.Result) {
 	vpn := vpnOf(a.Addr)
-	if hit, _, _ := t.l1.LookupInsert(vpn); hit {
+	if v, hit := t.l1.LookupV(vpn); hit {
 		t.clock.Advance(t.l1Hit)
-		return mem.Result{Latency: t.l1Hit, Hit: true, Source: mem.LevelTLB1}
+		return phys.Frame(v), mem.Result{Latency: t.l1Hit, Hit: true, Source: mem.LevelTLB1}
 	}
-	if hit, _, _ := t.l2.LookupInsert(vpn); hit {
+	if v, hit := t.l2.LookupV(vpn); hit {
 		t.counters.Inc(perf.DTLBLoadMissesL1)
 		t.clock.Advance(t.l2Hit)
-		return mem.Result{Latency: t.l2Hit, Hit: true, Source: mem.LevelTLB2}
+		t.l1.InsertV(vpn, v)
+		return phys.Frame(v), mem.Result{Latency: t.l2Hit, Hit: true, Source: mem.LevelTLB2}
 	}
 	t.counters.Inc(perf.DTLBLoadMissesWalk)
-	res := t.walker.Lookup(a)
-	return mem.Result{Latency: res.Latency, Hit: false, Source: mem.LevelPageWalk}
+	frame, res := t.walker.Translate(a)
+	t.l1.InsertV(vpn, uint64(frame))
+	t.l2.InsertV(vpn, uint64(frame))
+	return frame, mem.Result{Latency: res.Latency, Hit: false, Source: mem.LevelPageWalk}
 }
 
 // Invalidate drops the page's translation from both levels (the

@@ -9,17 +9,25 @@ import (
 	"pthammer/internal/timing"
 )
 
-// fakeWalker is a fixed-cost stand-in for the page walker.
+// fakeWalker is a fixed-cost stand-in for the page walker. It
+// "translates" a page to a frame derived from its vpn so tests can
+// check the TLB caches and returns the walker's frame, not something
+// it made up.
 type fakeWalker struct {
 	clock *timing.Clock
 	cost  timing.Cycles
 	walks int
 }
 
-func (w *fakeWalker) Lookup(mem.Access) mem.Result {
+// frameFor is the fake translation: an offset identity map, so frame
+// != vpn and value plumbing bugs show up.
+func frameFor(vpn uint64) phys.Frame { return phys.Frame(vpn + 1000) }
+
+func (w *fakeWalker) Translate(a mem.Access) (phys.Frame, mem.Result) {
 	w.walks++
 	w.clock.Advance(w.cost)
-	return mem.Result{Latency: w.cost, Hit: false, Source: mem.LevelPageWalk}
+	vpn := uint64(a.Addr) >> phys.FrameShift
+	return frameFor(vpn), mem.Result{Latency: w.cost, Hit: false, Source: mem.LevelPageWalk}
 }
 
 // tinyConfig: dTLB 4 entries 2-way (2 sets), sTLB 16 entries 2-way
@@ -66,18 +74,24 @@ func TestMissWalkThenHits(t *testing.T) {
 	a := pageAddr(5)
 
 	// Cold: full miss, walk, install.
-	res := tl.Lookup(mem.Access{Addr: a})
+	frame, res := tl.Translate(mem.Access{Addr: a})
 	if res.Hit || res.Source != mem.LevelPageWalk || res.Latency != 50 {
-		t.Fatalf("cold lookup = %+v", res)
+		t.Fatalf("cold translate = %+v", res)
+	}
+	if frame != frameFor(5) {
+		t.Fatalf("cold frame = %d, want %d", frame, frameFor(5))
 	}
 	if w.walks != 1 || counters.Read(perf.DTLBLoadMissesWalk) != 1 {
 		t.Fatal("walk not counted")
 	}
 
-	// Warm: dTLB hit, same page different offset.
-	res = tl.Lookup(mem.Access{Addr: a + 123})
+	// Warm: dTLB hit, same page different offset, same frame.
+	frame, res = tl.Translate(mem.Access{Addr: a + 123})
 	if !res.Hit || res.Source != mem.LevelTLB1 || res.Latency != lat.TLBL1Hit {
-		t.Fatalf("warm lookup = %+v", res)
+		t.Fatalf("warm translate = %+v", res)
+	}
+	if frame != frameFor(5) {
+		t.Fatalf("warm frame = %d, want %d", frame, frameFor(5))
 	}
 	if w.walks != 1 {
 		t.Fatal("dTLB hit walked")
@@ -97,15 +111,18 @@ func TestSTLBHitRefillsDTLB(t *testing.T) {
 	// 2 ways, evicting vpn 0 from the dTLB while the 8-set sTLB still
 	// holds all three.
 	for _, vpn := range []uint64{0, 2, 4} {
-		tl.Lookup(mem.Access{Addr: pageAddr(vpn)})
+		tl.Translate(mem.Access{Addr: pageAddr(vpn)})
 	}
 	if in1, in2 := tl.Contains(pageAddr(0)); in1 || !in2 {
 		t.Fatalf("expected sTLB-only residence, got dTLB %v sTLB %v", in1, in2)
 	}
 
-	res := tl.Lookup(mem.Access{Addr: pageAddr(0)})
+	frame, res := tl.Translate(mem.Access{Addr: pageAddr(0)})
 	if !res.Hit || res.Source != mem.LevelTLB2 || res.Latency != lat.TLBL2Hit {
-		t.Fatalf("sTLB lookup = %+v", res)
+		t.Fatalf("sTLB translate = %+v", res)
+	}
+	if frame != frameFor(0) {
+		t.Fatalf("sTLB frame = %d, want %d: refill lost the mapping", frame, frameFor(0))
 	}
 	if counters.Read(perf.DTLBLoadMissesL1) != 1 {
 		t.Fatalf("stlb_hit counter = %d, want 1", counters.Read(perf.DTLBLoadMissesL1))
@@ -113,16 +130,16 @@ func TestSTLBHitRefillsDTLB(t *testing.T) {
 	if w.walks != 3 {
 		t.Fatalf("walks = %d, want 3", w.walks)
 	}
-	// Refilled: now a dTLB hit.
-	if res := tl.Lookup(mem.Access{Addr: pageAddr(0)}); res.Source != mem.LevelTLB1 {
-		t.Fatalf("after refill, source = %v", res.Source)
+	// Refilled: now a dTLB hit, frame preserved through the refill.
+	if frame, res := tl.Translate(mem.Access{Addr: pageAddr(0)}); res.Source != mem.LevelTLB1 || frame != frameFor(0) {
+		t.Fatalf("after refill, source = %v frame = %d", res.Source, frame)
 	}
 }
 
 func TestInvalidate(t *testing.T) {
 	tl, w, _, _ := newTestTLB(t)
 	a := pageAddr(9)
-	tl.Lookup(mem.Access{Addr: a})
+	tl.Translate(mem.Access{Addr: a})
 	if !tl.Invalidate(a) {
 		t.Fatal("Invalidate missed a cached translation")
 	}
@@ -134,7 +151,7 @@ func TestInvalidate(t *testing.T) {
 	}
 	// Next lookup walks again.
 	before := w.walks
-	if res := tl.Lookup(mem.Access{Addr: a}); res.Hit || w.walks != before+1 {
+	if _, res := tl.Translate(mem.Access{Addr: a}); res.Hit || w.walks != before+1 {
 		t.Fatal("invalidated page did not re-walk")
 	}
 }
@@ -143,12 +160,12 @@ func TestSTLBEvictionForcesRewalk(t *testing.T) {
 	tl, w, _, counters := newTestTLB(t)
 	// sTLB set 0 (2 ways) holds vpns ≡ 0 (mod 8): 0, 8, 16 overflow it.
 	for _, vpn := range []uint64{0, 8, 16} {
-		tl.Lookup(mem.Access{Addr: pageAddr(vpn)})
+		tl.Translate(mem.Access{Addr: pageAddr(vpn)})
 	}
 	before := counters.Read(perf.DTLBLoadMissesWalk)
 	// vpn 0 was LRU in sTLB set 0; its dTLB copy was also evicted by
 	// the dTLB set-0 overflow (0, 8, 16 share dTLB set 0 as well).
-	res := tl.Lookup(mem.Access{Addr: pageAddr(0)})
+	_, res := tl.Translate(mem.Access{Addr: pageAddr(0)})
 	if res.Hit {
 		t.Fatalf("expected full miss, got %+v", res)
 	}
