@@ -140,14 +140,21 @@ func measure() []scenarioResult {
 
 // check is the CI regression gate: every steady-state scenario must
 // stay allocation-free and within maxRegression of the committed
-// baseline. Scenarios the baseline does not know (newly added) are
-// only alloc-checked.
-func check(results []scenarioResult, baseline report, baselinePath string) (failures []string) {
+// baseline. The ns/op comparison diffs only scenarios present in BOTH
+// the run and the baseline: a newly added scenario has no meaningful
+// baseline yet (it is alloc-checked only, and its first committed
+// BENCH_NNNN.json becomes its baseline), and a scenario that exists
+// only in the baseline was renamed or retired. Both one-sided cases
+// are reported as notes so they are visible in CI logs without
+// failing the build that legitimately introduces them.
+func check(results []scenarioResult, baseline report, baselinePath string) (failures, notes []string) {
 	base := make(map[string]scenarioResult, len(baseline.Scenarios))
 	for _, s := range baseline.Scenarios {
 		base[s.Name] = s
 	}
+	measured := make(map[string]bool, len(results))
 	for _, r := range results {
+		measured[r.Name] = true
 		if !r.SteadyState {
 			continue
 		}
@@ -156,7 +163,14 @@ func check(results []scenarioResult, baseline report, baselinePath string) (fail
 				fmt.Sprintf("%s: %d allocs/op on the hot path, want 0", r.Name, r.AllocsPerOp))
 		}
 		b, ok := base[r.Name]
-		if !ok || b.NsPerOp <= 0 {
+		if !ok {
+			notes = append(notes,
+				fmt.Sprintf("%s: new scenario, not in %s (alloc-checked only)", r.Name, baselinePath))
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			notes = append(notes,
+				fmt.Sprintf("%s: baseline ns/op %.1f unusable, skipping comparison", r.Name, b.NsPerOp))
 			continue
 		}
 		if ratio := r.NsPerOp / b.NsPerOp; ratio > maxRegression {
@@ -165,7 +179,13 @@ func check(results []scenarioResult, baseline report, baselinePath string) (fail
 					r.Name, r.NsPerOp, b.NsPerOp, baselinePath, ratio, maxRegression))
 		}
 	}
-	return failures
+	for _, s := range baseline.Scenarios {
+		if !measured[s.Name] {
+			notes = append(notes,
+				fmt.Sprintf("%s: in %s but no longer measured (renamed or retired?)", s.Name, baselinePath))
+		}
+	}
+	return failures, notes
 }
 
 func main() {
@@ -191,7 +211,10 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		failures := check(measure(), baseline, basePath)
+		failures, notes := check(measure(), baseline, basePath)
+		for _, n := range notes {
+			fmt.Println("note:", n)
+		}
 		if len(failures) > 0 {
 			for _, f := range failures {
 				fmt.Fprintln(os.Stderr, "REGRESSION:", f)

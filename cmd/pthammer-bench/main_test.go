@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func steadyResult(name string, ns float64, allocs int64) scenarioResult {
+	return scenarioResult{Name: name, NsPerOp: ns, AllocsPerOp: allocs, SteadyState: true}
+}
+
+// TestCheckDiffsOnlySharedScenarios: a newly added scenario is never
+// ns-compared (its number would otherwise trip the gate on first
+// landing), a removed one only produces a note, and a genuinely
+// regressed shared scenario still fails.
+func TestCheckDiffsOnlySharedScenarios(t *testing.T) {
+	baseline := report{Scenarios: []scenarioResult{
+		steadyResult("warm-load", 100, 0),
+		steadyResult("retired-loop", 50, 0),
+	}}
+
+	results := []scenarioResult{
+		steadyResult("warm-load", 110, 0),
+		// A brand-new, much slower scenario: must not fail the gate.
+		steadyResult("implicit-hammer-loop", 9000, 0),
+		// Non-steady scenarios are never checked at all.
+		{Name: "sweep-engine", NsPerOp: 1e9, AllocsPerOp: 500},
+	}
+	failures, notes := check(results, baseline, "BENCH_TEST.json")
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	var sawNew, sawRetired bool
+	for _, n := range notes {
+		if strings.Contains(n, "implicit-hammer-loop") && strings.Contains(n, "new scenario") {
+			sawNew = true
+		}
+		if strings.Contains(n, "retired-loop") && strings.Contains(n, "no longer measured") {
+			sawRetired = true
+		}
+	}
+	if !sawNew || !sawRetired {
+		t.Fatalf("notes missing one-sided scenarios: %v", notes)
+	}
+}
+
+// TestCheckStillCatchesRegressions: the shared-scenario comparison and
+// the alloc gate keep their teeth.
+func TestCheckStillCatchesRegressions(t *testing.T) {
+	baseline := report{Scenarios: []scenarioResult{steadyResult("warm-load", 100, 0)}}
+
+	failures, _ := check([]scenarioResult{steadyResult("warm-load", 100*maxRegression*1.01, 0)},
+		baseline, "BENCH_TEST.json")
+	if len(failures) != 1 || !strings.Contains(failures[0], "warm-load") {
+		t.Fatalf("ns/op regression not caught: %v", failures)
+	}
+
+	failures, _ = check([]scenarioResult{steadyResult("fresh-loop", 10, 3)}, baseline, "BENCH_TEST.json")
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("hot-path alloc not caught: %v", failures)
+	}
+}
+
+// TestCheckSkipsUnusableBaseline: a zero ns/op baseline entry cannot
+// produce a ratio; it is skipped with a note, not a crash or failure.
+func TestCheckSkipsUnusableBaseline(t *testing.T) {
+	baseline := report{Scenarios: []scenarioResult{steadyResult("warm-load", 0, 0)}}
+	failures, notes := check([]scenarioResult{steadyResult("warm-load", 100, 0)}, baseline, "BENCH_TEST.json")
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "unusable") {
+		t.Fatalf("missing unusable-baseline note: %v", notes)
+	}
+}
+
+// TestLatestBaselinePicksHighestNumber covers the baseline discovery
+// the gate depends on.
+func TestLatestBaselinePicksHighestNumber(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_0002.json", "BENCH_0010.json", "BENCH_0003.json", "other.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, num, ok, err := latestBaseline(dir)
+	if err != nil || !ok {
+		t.Fatalf("latestBaseline: %v ok=%v", err, ok)
+	}
+	if num != 10 || filepath.Base(path) != "BENCH_0010.json" {
+		t.Fatalf("picked %s (#%d), want BENCH_0010.json", path, num)
+	}
+
+	empty := t.TempDir()
+	if _, _, ok, err := latestBaseline(empty); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v, want no baseline", ok, err)
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// smallSpec keeps the determinism matrix fast: two targets, three
+// padding points, light noise so the seeds matter.
+func smallSpec(t *testing.T, mode string, workers int) []byte {
+	t.Helper()
+	spec, err := buildSpec(mode, 2, 0, 20, 10, 3, workers, 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := renderTables(spec, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTablesDeterministicAcrossWorkers is the command's contract: the
+// Figure 5/6 tables are bit-identical for 1, 2, 4 and NumCPU workers,
+// in both measurement modes. The CI race leg runs this same test under
+// -race, so the guarantee holds with the scheduler interleaving shards
+// adversarially.
+func TestTablesDeterministicAcrossWorkers(t *testing.T) {
+	for _, mode := range []string{"evict", "flush"} {
+		serial := smallSpec(t, mode, 1)
+		if len(serial) == 0 {
+			t.Fatalf("%s: empty tables", mode)
+		}
+		for _, workers := range []int{2, 4, runtime.NumCPU()} {
+			if got := smallSpec(t, mode, workers); !bytes.Equal(got, serial) {
+				t.Fatalf("%s tables differ between 1 and %d workers:\n--- 1 worker ---\n%s--- %d workers ---\n%s",
+					mode, workers, serial, workers, got)
+			}
+		}
+	}
+}
+
+// TestTablesContainBothFigures pins the output layout downstream
+// tooling parses.
+func TestTablesContainBothFigures(t *testing.T) {
+	out := smallSpec(t, "evict", 1)
+	for _, want := range []string{
+		"# figure5: load latency (cycles) vs padding NOPs",
+		"padding\tsamples\tmin\tp25\tp50\tp90\tmax\tmean",
+		"# figure6: merged latency distribution",
+		"latency\tcount",
+		"mode=evict",
+	} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBuildSpecRejectsBadInput covers the knobs main passes through.
+func TestBuildSpecRejectsBadInput(t *testing.T) {
+	if _, err := buildSpec("warp", 2, 0, 10, 10, 1, 0, 0, 1); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := buildSpec("evict", 0, 0, 10, 10, 1, 0, 0, 1); err == nil {
+		t.Error("zero targets accepted")
+	}
+}

@@ -6,13 +6,23 @@
 // reaches DRAM. Alternating two pages whose PTEs sit in the same bank
 // two rows apart turns those fetches into row conflicts that hammer
 // the sandwiched victim row, which holds page-table bytes.
+//
+// Two variants share the aggressor-pair discovery: the privileged
+// baseline (invlpg + clflush, what a kernel could do directly) and the
+// paper's actual attack, ImplicitHammer, which drives the same walk
+// traffic purely through measured eviction sets (internal/evset) — no
+// privileged operation anywhere in the loop.
 package bench
 
 import (
+	"fmt"
+
 	"pthammer/internal/dram"
+	"pthammer/internal/evset"
 	"pthammer/internal/machine"
 	"pthammer/internal/pagetable"
 	"pthammer/internal/phys"
+	"pthammer/internal/timing"
 )
 
 // ImplicitPair is a double-sided aggressor pair for implicit
@@ -76,16 +86,89 @@ func FindImplicitAggressors(m *machine.Machine, maxRegions int) (ImplicitPair, b
 	return ImplicitPair{}, false
 }
 
-// HammerOnce runs one iteration of the implicit-hammer loop on the
-// pair: per side, evict the translation (simulated invlpg standing in
-// for the paper's TLB eviction set), flush the PTE's cache line
-// (standing in for the LLC eviction set), and load the page. The
-// only DRAM rows this touches after warm-up are the PTE rows.
-func (p ImplicitPair) HammerOnce(m *machine.Machine) {
+// HammerOncePrivileged runs one iteration of the implicit-hammer loop
+// with kernel privileges: per side, invlpg the translation, clflush
+// the PTE's cache line, and load the page. It is the upper-bound
+// baseline the eviction-driven loop is compared against — the paper's
+// attacker cannot execute either instruction, which is exactly what
+// ImplicitHammer removes.
+func (p ImplicitPair) HammerOncePrivileged(m *machine.Machine) {
 	m.InvalidatePage(p.VA1)
 	m.Flush(p.PTE1)
 	m.Load(p.VA1)
 	m.InvalidatePage(p.VA2)
 	m.Flush(p.PTE2)
 	m.Load(p.VA2)
+}
+
+// ImplicitHammer is the flush-free implicit-hammer primitive: the
+// aggressor pair plus the measured eviction sets standing in for
+// invlpg (TLB sets) and clflush (leaf-PTE LLC sets). Everything it
+// does at hammer time is a plain demand load.
+type ImplicitHammer struct {
+	Pair       ImplicitPair
+	TLB1, TLB2 *evset.TLBSet
+	LLC1, LLC2 *evset.LLCSet
+}
+
+// HammerIter summarises one eviction-driven hammer iteration for the
+// acceptance checks: the cycles it charged and whether both target
+// loads behaved like implicit hammer accesses (full walk, leaf PTE
+// from DRAM). The struct return keeps the hot loop allocation-free.
+type HammerIter struct {
+	Cycles timing.Cycles
+	// Walked is true when both target loads missed all TLB levels.
+	Walked bool
+	// LeafFromDRAM is true when both walks fetched their leaf PTE from
+	// DRAM — the accesses that activate the aggressor rows.
+	LeafFromDRAM bool
+}
+
+// NewImplicitHammer finds an aggressor pair and builds the four
+// eviction sets, excluding each aggressor page from the other side's
+// candidate streams so no prime ever touches a target. Construction
+// issues only loads and timed probes.
+func NewImplicitHammer(m *machine.Machine, maxRegions int, opt evset.Options) (*ImplicitHammer, error) {
+	pair, ok := FindImplicitAggressors(m, maxRegions)
+	if !ok {
+		return nil, fmt.Errorf("bench: no implicit aggressor pair within %d regions", maxRegions)
+	}
+	excl := []phys.Addr{pair.VA1, pair.VA2}
+	tlb1, err := evset.BuildTLB(m, pair.VA1, excl, opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: TLB set for VA1: %w", err)
+	}
+	tlb2, err := evset.BuildTLB(m, pair.VA2, excl, opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: TLB set for VA2: %w", err)
+	}
+	llc1, err := evset.BuildLLCPTE(m, pair.VA1, tlb1, excl, opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: LLC set for PTE1: %w", err)
+	}
+	llc2, err := evset.BuildLLCPTE(m, pair.VA2, tlb2, excl, opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: LLC set for PTE2: %w", err)
+	}
+	return &ImplicitHammer{Pair: pair, TLB1: tlb1, TLB2: tlb2, LLC1: llc1, LLC2: llc2}, nil
+}
+
+// HammerOnce runs one flush-free iteration: per side, walk the TLB
+// eviction set (unprivileged invlpg), walk the PTE-line LLC eviction
+// set (unprivileged clflush), then probe the page — the walk's
+// KindPTEFetch to the PT frame is the only access that reaches the
+// aggressor rows. Allocation-free in steady state.
+func (h *ImplicitHammer) HammerOnce(m *machine.Machine) HammerIter {
+	var it HammerIter
+	it.Cycles += h.TLB1.Evict(m)
+	it.Cycles += h.LLC1.Evict(m)
+	p1 := m.Probe(h.Pair.VA1)
+	it.Cycles += p1.Latency
+	it.Cycles += h.TLB2.Evict(m)
+	it.Cycles += h.LLC2.Evict(m)
+	p2 := m.Probe(h.Pair.VA2)
+	it.Cycles += p2.Latency
+	it.Walked = p1.Walked && p2.Walked
+	it.LeafFromDRAM = p1.LeafFromDRAM && p2.LeafFromDRAM
+	return it
 }

@@ -3,8 +3,10 @@ package bench
 import (
 	"testing"
 
+	"pthammer/internal/evset"
 	"pthammer/internal/machine"
 	"pthammer/internal/perf"
+	"pthammer/internal/phys"
 	"pthammer/internal/timing"
 )
 
@@ -17,13 +19,13 @@ func hammerConfig() machine.Config {
 	return cfg
 }
 
-// TestImplicitHammerReachesThreshold is the PR's acceptance test: a
-// flush-TLB-then-load loop whose only DRAM traffic to the aggressor
+// TestPrivilegedHammerReachesThreshold is the privileged baseline: a
+// invlpg-clflush-load loop whose only DRAM traffic to the aggressor
 // rows is the page walker's KindPTEFetch accesses drives the
 // page-table victim row past the hammer threshold, while the shared
 // clock, the per-access Results, and the perf counters stay in exact
 // agreement.
-func TestImplicitHammerReachesThreshold(t *testing.T) {
+func TestPrivilegedHammerReachesThreshold(t *testing.T) {
 	m := machine.MustNew(hammerConfig())
 	geom := m.DRAM().Config()
 
@@ -95,19 +97,128 @@ func TestImplicitHammerReachesThreshold(t *testing.T) {
 	}
 }
 
+// TestEvictionHammerReachesThreshold is the PR's acceptance test: the
+// flush-free loop — TLB and LLC eviction-set walks plus target loads,
+// nothing else — drives the PTE victim row past the hammer threshold
+// with zero privileged operations (counter-asserted across both
+// construction and hammering), while clock, Results and PMCs agree.
+func TestEvictionHammerReachesThreshold(t *testing.T) {
+	m := machine.MustNew(hammerConfig())
+	flushes0, invlpgs0 := m.PrivilegedOps()
+
+	h, err := NewImplicitHammer(m, 256, evset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := h.Pair
+	if pair.Loc1.Bank != pair.Loc2.Bank || pair.Loc2.Row-pair.Loc1.Row != 2 {
+		t.Fatalf("pair not double-sided same-bank: %+v / %+v", pair.Loc1, pair.Loc2)
+	}
+	const rounds = 40
+	start := m.Clock().Now()
+	snap := m.Counters().Snapshot()
+	var sum timing.Cycles
+	for i := 0; i < rounds; i++ {
+		it := h.HammerOnce(m)
+		sum += it.Cycles
+		if !it.Walked {
+			t.Fatalf("round %d: a target load did not walk — TLB eviction set failed", i)
+		}
+		if !it.LeafFromDRAM {
+			t.Fatalf("round %d: a leaf PTE was served from cache — LLC eviction set failed", i)
+		}
+	}
+
+	// Clock/Result agreement: every cycle the eviction-driven loop
+	// charged is accounted for by a returned latency.
+	if got := m.Clock().Now() - start; got != sum {
+		t.Fatalf("clock delta %d != latency sum %d", got, sum)
+	}
+	// PMC agreement: at least the 2·rounds target walks fetched a leaf
+	// PTE from DRAM (eviction-stream loads may add walks of their own,
+	// but each round's two probes were individually PMC-confirmed).
+	if got := snap.Delta(m.Counters(), perf.L1PTEMemoryFetch); got < 2*rounds {
+		t.Fatalf("L1 PTE memory fetches = %d, want ≥ %d", got, 2*rounds)
+	}
+	if got := snap.Delta(m.Counters(), perf.DTLBLoadMissesWalk); got < 2*rounds {
+		t.Fatalf("walks = %d, want ≥ %d", got, 2*rounds)
+	}
+
+	// The sandwiched page-table row is hammer-eligible with at least
+	// one activation per probe.
+	stats := m.HammerStats()
+	found := false
+	for _, v := range stats.Victims {
+		if v.Channel == pair.Loc1.Channel && v.Rank == pair.Loc1.Rank &&
+			v.Bank == pair.Loc1.Bank && v.Row == pair.VictimRow {
+			found = true
+			if v.Pressure < 2*rounds {
+				t.Fatalf("victim pressure = %d, want ≥ %d", v.Pressure, 2*rounds)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("PTE victim row %d not in victims: %+v", pair.VictimRow, stats.Victims)
+	}
+
+	// The whole attack — eviction-set construction and the hammer loop —
+	// used no privileged operation.
+	if f, inv := m.PrivilegedOps(); f != flushes0 || inv != invlpgs0 {
+		t.Fatalf("privileged ops used: flushes %d→%d, invlpg %d→%d", flushes0, f, invlpgs0, inv)
+	}
+}
+
+// TestEvictionStreamsAvoidAggressorPages: the exclusion plumbing keeps
+// both aggressor pages out of all four streams, so the loop's only
+// explicit accesses to them are the timed probes.
+func TestEvictionStreamsAvoidAggressorPages(t *testing.T) {
+	m := machine.MustNew(hammerConfig())
+	h, err := NewImplicitHammer(m, 256, evset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, stream := range map[string][]phys.Addr{
+		"tlb1": h.TLB1.Pages, "tlb2": h.TLB2.Pages,
+		"llc1": h.LLC1.Addrs, "llc2": h.LLC2.Addrs,
+	} {
+		for _, a := range stream {
+			f := phys.FrameOf(a)
+			if f == phys.FrameOf(h.Pair.VA1) || f == phys.FrameOf(h.Pair.VA2) {
+				t.Fatalf("%s stream contains aggressor page %#x", name, uint64(a))
+			}
+		}
+	}
+}
+
 // TestImplicitHammerSteadyStateZeroAllocs pins the hot-path contract
-// for the walker path: once the pair is warm, the full
-// invalidate-flush-load iteration allocates nothing.
+// for the eviction-driven loop: once built and warm, a full iteration —
+// four stream walks and two probes — allocates nothing.
 func TestImplicitHammerSteadyStateZeroAllocs(t *testing.T) {
+	m := machine.MustNew(machine.SandyBridge())
+	h, err := NewImplicitHammer(m, 256, evset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		h.HammerOnce(m)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { h.HammerOnce(m) }); allocs != 0 {
+		t.Fatalf("steady-state implicit hammer allocates %.1f per iteration, want 0", allocs)
+	}
+}
+
+// TestPrivilegedHammerSteadyStateZeroAllocs keeps the same contract on
+// the privileged baseline loop.
+func TestPrivilegedHammerSteadyStateZeroAllocs(t *testing.T) {
 	m := machine.MustNew(machine.SandyBridge())
 	pair, ok := FindImplicitAggressors(m, 256)
 	if !ok {
 		t.Fatal("no implicit aggressor pair found")
 	}
 	for i := 0; i < 64; i++ {
-		pair.HammerOnce(m)
+		pair.HammerOncePrivileged(m)
 	}
-	if allocs := testing.AllocsPerRun(1000, func() { pair.HammerOnce(m) }); allocs != 0 {
-		t.Fatalf("steady-state implicit hammer allocates %.1f per iteration, want 0", allocs)
+	if allocs := testing.AllocsPerRun(1000, func() { pair.HammerOncePrivileged(m) }); allocs != 0 {
+		t.Fatalf("steady-state privileged hammer allocates %.1f per iteration, want 0", allocs)
 	}
 }

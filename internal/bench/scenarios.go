@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"pthammer/internal/dram"
+	"pthammer/internal/evset"
 	"pthammer/internal/machine"
 	"pthammer/internal/mem"
 	"pthammer/internal/phys"
@@ -37,7 +38,9 @@ func newMachine() *machine.Machine {
 //
 //	warm-load            all-hit fast path (dTLB + L1 every iteration)
 //	flush-hammer-loop    clflush two same-bank aggressors, load them back
-//	implicit-hammer-loop flush-TLB-then-load: PTE fetches do the hammering
+//	implicit-hammer-loop flush-free PThammer: eviction-set walks + loads,
+//	                     the walker's PTE fetches do the hammering
+//	implicit-hammer-priv privileged baseline: invlpg + clflush + load
 //	cold-load-sweep      stride past cache and TLB reach, full-miss loads
 //	tlb-thrash           page stride past sTLB reach, walk-heavy loads
 //	loadn-batch-64       batched LoadN over a reused result buffer
@@ -82,10 +85,32 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
-			// PThammer's primitive: evict the translation and the PTE
-			// line, then load — the page walk's implicit KindPTEFetch
-			// accesses are the only thing reaching the aggressor rows.
+			// PThammer's actual attack loop: walk the measured TLB and
+			// leaf-PTE LLC eviction sets, then load — the page walk's
+			// implicit KindPTEFetch accesses are the only thing reaching
+			// the aggressor rows, and no privileged operation is issued.
+			// LoadsPerOp counts the two hammer probes, not the eviction
+			// streams, so loads/sec reads as hammer activations per
+			// second and stays comparable with the privileged baseline.
 			Name:        "implicit-hammer-loop",
+			LoadsPerOp:  2,
+			SteadyState: true,
+			Run: func(b *testing.B) {
+				m := newMachine()
+				h, err := NewImplicitHammer(m, 256, evset.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					h.HammerOnce(m)
+				}
+			},
+		},
+		{
+			// The privileged upper bound the eviction-driven loop chases:
+			// same pair, but invlpg and clflush instead of the streams.
+			Name:        "implicit-hammer-priv",
 			LoadsPerOp:  2,
 			SteadyState: true,
 			Run: func(b *testing.B) {
@@ -96,7 +121,7 @@ func Scenarios() []Scenario {
 				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					pair.HammerOnce(m)
+					pair.HammerOncePrivileged(m)
 				}
 			},
 		},

@@ -1,0 +1,238 @@
+package evset
+
+import (
+	"testing"
+
+	"pthammer/internal/machine"
+	"pthammer/internal/phys"
+)
+
+// newQuiet builds the deterministic SandyBridge preset.
+func newQuiet(t *testing.T) *machine.Machine {
+	t.Helper()
+	return machine.MustNew(machine.SandyBridge())
+}
+
+// TestBuildTLBEvictsWithoutPrivilege: the constructed set forces the
+// target's next load to walk, and the whole construction plus use never
+// issues a privileged operation.
+func TestBuildTLBEvictsWithoutPrivilege(t *testing.T) {
+	m := newQuiet(t)
+	target := phys.Addr(0x200040)
+	f0, i0 := m.PrivilegedOps()
+
+	set, err := BuildTLB(m, target, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Pages) == 0 {
+		t.Fatal("empty eviction set")
+	}
+	maxWays := m.Config().TLB.L1Ways
+	if w := m.Config().TLB.L2Ways; w > maxWays {
+		maxWays = w
+	}
+	if len(set.Pages) < maxWays {
+		t.Fatalf("set of %d pages cannot fill a %d-way TLB set", len(set.Pages), maxWays)
+	}
+	for _, p := range set.Pages {
+		if phys.FrameOf(p) == phys.FrameOf(target) {
+			t.Fatalf("target page %#x in its own eviction set", uint64(p))
+		}
+	}
+
+	// Use it: a resident translation, then Evict, then a probe that
+	// must walk and clear the calibrated threshold.
+	m.Load(target)
+	if p := m.Probe(target); p.Walked {
+		t.Fatal("target not resident before eviction")
+	}
+	set.Evict(m)
+	p := m.Probe(target)
+	if !p.Walked {
+		t.Fatal("probe after Evict did not walk")
+	}
+	if p.Latency < set.Cal.Threshold {
+		t.Fatalf("walked probe latency %d below threshold %d", p.Latency, set.Cal.Threshold)
+	}
+
+	if f1, i1 := m.PrivilegedOps(); f1 != f0 || i1 != i0 {
+		t.Fatalf("privileged ops used: flushes %d→%d invlpg %d→%d", f0, f1, i0, i1)
+	}
+}
+
+// TestBuildLLCPTEEvictsLeafLine: after evicting translation and PTE
+// line via the two sets, the target's walk fetches its leaf PTE from
+// DRAM — the implicit access PThammer hammers with — flush-free.
+func TestBuildLLCPTEEvictsLeafLine(t *testing.T) {
+	m := newQuiet(t)
+	target := phys.Addr(0x400000)
+	f0, i0 := m.PrivilegedOps()
+
+	tlb, err := BuildTLB(m, target, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	llc, err := BuildLLCPTE(m, target, tlb, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(llc.Addrs) == 0 {
+		t.Fatal("empty LLC eviction set")
+	}
+	limit := userLimit(m)
+	for _, a := range llc.Addrs {
+		if a >= limit {
+			t.Fatalf("LLC candidate %#x inside the kernel page-table region", uint64(a))
+		}
+	}
+	if llc.PTE < limit {
+		t.Fatalf("leaf PTE %#x not in the page-table region", uint64(llc.PTE))
+	}
+
+	// Warm walk with a cached PTE line, then evict the line and the
+	// translation: the probe's leaf fetch must reach DRAM.
+	tlb.Evict(m)
+	m.Load(target)
+	tlb.Evict(m)
+	if p := m.Probe(target); !p.Walked || p.LeafFromDRAM {
+		t.Fatalf("control probe = %+v, want walk with cached leaf", p)
+	}
+	tlb.Evict(m)
+	m.Load(target)
+	llc.Evict(m)
+	tlb.Evict(m)
+	p := m.Probe(target)
+	if !p.Walked || !p.LeafFromDRAM {
+		t.Fatalf("post-eviction probe = %+v, want walk with DRAM leaf fetch", p)
+	}
+	if p.Latency < llc.Cal.Threshold {
+		t.Fatalf("DRAM-walk latency %d below threshold %d", p.Latency, llc.Cal.Threshold)
+	}
+
+	if f1, i1 := m.PrivilegedOps(); f1 != f0 || i1 != i0 {
+		t.Fatalf("privileged ops used: flushes %d→%d invlpg %d→%d", f0, f1, i0, i1)
+	}
+}
+
+// TestCalibrationSeparates pins the threshold layout both builders rely
+// on: cached anchor strictly below the evicted anchor with the
+// threshold in between.
+func TestCalibrationSeparates(t *testing.T) {
+	m := newQuiet(t)
+	target := phys.Addr(0x600000)
+	tlb, err := BuildTLB(m, target, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	llc, err := BuildLLCPTE(m, target, tlb, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cal := range map[string]Calibration{"tlb": tlb.Cal, "llc": llc.Cal} {
+		if !(cal.Lo < cal.Threshold && cal.Threshold <= cal.Hi) {
+			t.Errorf("%s calibration %+v not ordered Lo < Threshold ≤ Hi", name, cal)
+		}
+	}
+	// The LLC verdict measures a DRAM-serviced walk, which costs more
+	// than the cached-leaf walk the TLB verdict thresholds.
+	if llc.Cal.Hi <= tlb.Cal.Lo {
+		t.Errorf("LLC evicted anchor %d not above TLB cached anchor %d", llc.Cal.Hi, tlb.Cal.Lo)
+	}
+}
+
+// TestBuildTLBExcludesPages: excluded pages never appear in the set —
+// the hammer pair keeps each aggressor out of the other's streams.
+func TestBuildTLBExcludesPages(t *testing.T) {
+	m := newQuiet(t)
+	target := phys.Addr(0x200000)
+	// Exclude the first few pages that would otherwise be candidates
+	// (same sTLB set: stride of sTLB-set-count pages).
+	sSets := uint64(m.Config().TLB.L2Entries / m.Config().TLB.L2Ways)
+	excl := []phys.Addr{0, phys.Addr(sSets << phys.FrameShift)}
+	set, err := BuildTLB(m, target, excl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range set.Pages {
+		for _, e := range excl {
+			if phys.FrameOf(p) == phys.FrameOf(e) {
+				t.Fatalf("excluded page %#x in eviction set", uint64(e))
+			}
+		}
+	}
+}
+
+// TestBuildLLCPTERequiresTLBSet: the LLC builder cannot verify
+// evictions without a way to force walks.
+func TestBuildLLCPTERequiresTLBSet(t *testing.T) {
+	m := newQuiet(t)
+	if _, err := BuildLLCPTE(m, 0x1000, nil, nil, Options{}); err == nil {
+		t.Fatal("nil TLB set accepted")
+	}
+}
+
+// TestMinimizeFixpoint drives minimize with a synthetic oracle: any
+// superset of a hidden core evicts. The result must be exactly the
+// core, regardless of where it hides in the pool.
+func TestMinimizeFixpoint(t *testing.T) {
+	pool := make([]phys.Addr, 24)
+	for i := range pool {
+		pool[i] = phys.Addr(i * 0x1000)
+	}
+	core := map[phys.Addr]bool{pool[1]: true, pool[7]: true, pool[13]: true, pool[22]: true}
+	oracle := func(set []phys.Addr) bool {
+		have := 0
+		for _, a := range set {
+			if core[a] {
+				have++
+			}
+		}
+		return have == len(core)
+	}
+	got := minimize(append([]phys.Addr(nil), pool...), 4, oracle)
+	if len(got) != len(core) {
+		t.Fatalf("minimized to %d elements, want %d: %v", len(got), len(core), got)
+	}
+	for _, a := range got {
+		if !core[a] {
+			t.Fatalf("non-core element %#x survived minimization", uint64(a))
+		}
+	}
+}
+
+// TestCandidatesAvoidExcludedPTELines is the multi-target regression
+// guard: a candidate whose leaf PTE shares a cache line (vpn>>3 block,
+// eight entries per 64-byte line) with ANY excluded page would refetch
+// that page's PTE line on its own walks, silently undoing the eviction
+// another set maintains for it. With SandyBridge's geometry, vpn 1
+// (addr 0x1000) shares excluded page 0x0's PTE line and lies on
+// 0x200000's LLC candidate stride — it must be skipped from both pool
+// kinds.
+func TestCandidatesAvoidExcludedPTELines(t *testing.T) {
+	m := newQuiet(t)
+	target := phys.Addr(0x200000)
+	excl := []phys.Addr{0x0}
+	m.Load(target)
+	pte, ok := m.PTEAddr(target, 1)
+	if !ok {
+		t.Fatal("no leaf PTE for target")
+	}
+	frames, pteBlocks := excludeSets(target, excl)
+	if !pteBlocks[0] || !pteBlocks[uint64(phys.FrameOf(target))>>3] {
+		t.Fatalf("exclude blocks missing: %v", pteBlocks)
+	}
+	for kind, pool := range map[string][]phys.Addr{
+		"tlb": tlbCandidates(m, target, frames, pteBlocks, 64),
+		"llc": llcCandidates(m, pte, frames, pteBlocks, 64),
+	} {
+		if len(pool) == 0 {
+			t.Fatalf("%s pool empty", kind)
+		}
+		for _, a := range pool {
+			if block := uint64(phys.FrameOf(a)) >> 3; pteBlocks[block] {
+				t.Fatalf("%s candidate %#x shares a PTE line with an excluded page", kind, uint64(a))
+			}
+		}
+	}
+}

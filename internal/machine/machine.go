@@ -100,6 +100,13 @@ type Machine struct {
 	// noisy caches NoiseProb != 0 so the quiet (deterministic) hot path
 	// skips the noise sampler entirely.
 	noisy bool
+
+	// privFlushes/privInvlpgs count the kernel-only operations issued on
+	// this machine. PThammer's attacker has neither clflush on kernel
+	// lines nor invlpg, so the flush-free eviction-set paths assert
+	// these counters never move (see PrivilegedOps).
+	privFlushes uint64
+	privInvlpgs uint64
 }
 
 // New validates the config and wires the machine.
@@ -235,9 +242,19 @@ func (m *Machine) Translate(a phys.Addr) (phys.Frame, mem.Result) {
 // privileged baseline. It charges no cycles and reports whether any
 // structure held state for the page.
 func (m *Machine) InvalidatePage(a phys.Addr) bool {
+	m.privInvlpgs++
 	inTLB := m.tlb.Invalidate(a)
 	inPS := m.walker.Invalidate(a)
 	return inTLB || inPS
+}
+
+// PrivilegedOps reports how many privileged maintenance operations —
+// Flush (clflush on arbitrary lines) and InvalidatePage (invlpg) — have
+// been issued since the machine was built. The eviction-set tests
+// assert the deltas stay zero across construction and hammering: the
+// whole point of Algorithm 1 is doing without them.
+func (m *Machine) PrivilegedOps() (flushes, invlpgs uint64) {
+	return m.privFlushes, m.privInvlpgs
 }
 
 // PTEAddr returns the physical address of the page-table entry
@@ -272,6 +289,57 @@ func (m *Machine) LoadN(addrs []phys.Addr, out []mem.Result) []mem.Result {
 	return out
 }
 
+// Prime issues the access stream: one demand Load per address, in
+// order, discarding the per-load results and returning the total cycles
+// charged. This is the batch primitive eviction sets are driven with —
+// walking a measured set of conflicting pages (or lines) is the
+// unprivileged attacker's substitute for invlpg and clflush, so the
+// loop body must stay allocation-free for the hammer hot path.
+func (m *Machine) Prime(addrs []phys.Addr) timing.Cycles {
+	var total timing.Cycles
+	for _, a := range addrs {
+		total += m.Load(a).Latency
+	}
+	return total
+}
+
+// ProbeResult couples one timed load with the performance-counter
+// deltas it produced — the paper's measurement primitive: rdtsc around
+// the load plus the PMC kernel module reading dtlb_load_misses.*,
+// page_walker.* and longest_lat_cache.* as ground truth.
+type ProbeResult struct {
+	mem.Result
+	// Walked reports dtlb_load_misses.miss_causes_a_walk advanced: the
+	// load missed both TLB levels and the hardware walker ran.
+	Walked bool
+	// STLBHit reports dtlb_load_misses.stlb_hit advanced: the load
+	// missed only the first-level TLB.
+	STLBHit bool
+	// LeafFromDRAM reports page_walker.l1pte_memory_fetch advanced: the
+	// walk's leaf PTE came from DRAM — an implicit hammer access.
+	LeafFromDRAM bool
+	// LLCMiss reports longest_lat_cache.miss advanced somewhere in the
+	// load (data or PTE fetch).
+	LLCMiss bool
+}
+
+// Probe performs one Load bracketed by a PMC snapshot and returns the
+// result together with the decoded counter deltas. Eviction-set
+// construction (Algorithm 1) uses it to decide whether a candidate
+// stream really evicted the target translation or PTE line; it charges
+// exactly what the Load charges and allocates nothing.
+func (m *Machine) Probe(a phys.Addr) ProbeResult {
+	snap := m.counters.Snapshot()
+	res := m.Load(a)
+	return ProbeResult{
+		Result:       res,
+		Walked:       snap.Advanced(m.counters, perf.DTLBLoadMissesWalk),
+		STLBHit:      snap.Advanced(m.counters, perf.DTLBLoadMissesL1),
+		LeafFromDRAM: snap.Advanced(m.counters, perf.L1PTEMemoryFetch),
+		LLCMiss:      snap.Advanced(m.counters, perf.LongestLatCacheMiss),
+	}
+}
+
 // Flush models clflush on the address's line: it is dropped from every
 // cache level and the instruction cost is charged and returned. The
 // TLB is untouched — exactly why the paper needs eviction-based TLB
@@ -281,6 +349,7 @@ func (m *Machine) Flush(a phys.Addr) timing.Cycles {
 	if !m.mem.Contains(a) {
 		panic(fmt.Sprintf("machine: flush at %#x outside %d-byte memory", uint64(a), m.mem.Size()))
 	}
+	m.privFlushes++
 	return m.caches.Flush(a)
 }
 

@@ -442,6 +442,104 @@ func TestLoadSteadyStateZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestPrimeMatchesLoads: the batch eviction-stream primitive is just
+// Load in a loop — same clock movement, same counters, and the
+// returned cycle total equals the sum of the individual latencies.
+func TestPrimeMatchesLoads(t *testing.T) {
+	addrs := []phys.Addr{0x0, 0x1000, 0x80000, 0x200000, 0x1000}
+	single := MustNew(SandyBridge())
+	batched := MustNew(SandyBridge())
+
+	var want timing.Cycles
+	for _, a := range addrs {
+		want += single.Load(a).Latency
+	}
+	got := batched.Prime(addrs)
+	if got != want {
+		t.Fatalf("Prime returned %d cycles, want %d", got, want)
+	}
+	if single.Clock().Now() != batched.Clock().Now() {
+		t.Fatalf("clocks diverged: %d vs %d", single.Clock().Now(), batched.Clock().Now())
+	}
+	for _, ev := range []perf.Event{
+		perf.DTLBLoadMissesWalk, perf.LLCReference, perf.DRAMActivate, perf.PageWalkCompleted,
+	} {
+		if single.Counters().Read(ev) != batched.Counters().Read(ev) {
+			t.Fatalf("counter %v diverged", ev)
+		}
+	}
+	// Prime on a warmed stream allocates nothing — it is the eviction
+	// hammer's hot path.
+	if allocs := testing.AllocsPerRun(100, func() { batched.Prime(addrs) }); allocs != 0 {
+		t.Fatalf("steady-state Prime allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestProbeDecodesPMCDeltas: a cold probe sees the walk, the DRAM leaf
+// fetch and the LLC miss; a warm reprobe sees none of them; an
+// sTLB-only miss is distinguished from a full walk.
+func TestProbeDecodesPMCDeltas(t *testing.T) {
+	m := MustNew(SandyBridge())
+	a := phys.Addr(0x345678)
+
+	cold := m.Probe(a)
+	if !cold.Walked || !cold.LeafFromDRAM || !cold.LLCMiss {
+		t.Fatalf("cold probe = %+v, want walk + DRAM leaf + LLC miss", cold)
+	}
+	if cold.STLBHit {
+		t.Fatal("cold probe cannot hit the sTLB")
+	}
+	warm := m.Probe(a)
+	if warm.Walked || warm.LeafFromDRAM || warm.LLCMiss || warm.STLBHit {
+		t.Fatalf("warm probe = %+v, want no miss events", warm)
+	}
+	if warm.Latency >= cold.Latency {
+		t.Fatalf("warm probe (%d) not faster than cold (%d)", warm.Latency, cold.Latency)
+	}
+	// Evict a from the dTLB only: prime pages that share its dTLB set
+	// (vpn stride = dTLB set count) but land in different sTLB sets, so
+	// the probe hits the sTLB — STLBHit without a walk.
+	cfg := m.Config().TLB
+	dSets := uint64(cfg.L1Entries / cfg.L1Ways)
+	conflicts := make([]phys.Addr, cfg.L1Ways)
+	for i := range conflicts {
+		conflicts[i] = a + phys.Addr((uint64(i)+1)*dSets<<phys.FrameShift)
+	}
+	m.Prime(conflicts)
+	if p := m.Probe(a); p.Walked || !p.STLBHit {
+		t.Fatalf("probe after dTLB-only eviction = %+v, want sTLB hit without walk", p)
+	}
+	// Probe charges exactly what it reports.
+	before := m.Clock().Now()
+	p := m.Probe(a)
+	if got := m.Clock().Now() - before; got != p.Latency {
+		t.Fatalf("probe charged %d cycles but reported %d", got, p.Latency)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { m.Probe(a) }); allocs != 0 {
+		t.Fatalf("Probe allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestPrivilegedOpsCountsFlushAndInvlpg: only the two privileged
+// operations move the counters; the attacker-available primitives
+// (Load, Prime, Probe) never do.
+func TestPrivilegedOpsCountsFlushAndInvlpg(t *testing.T) {
+	m := MustNew(SandyBridge())
+	a := phys.Addr(0x2000)
+	m.Load(a)
+	m.Prime([]phys.Addr{0x3000, 0x4000})
+	m.Probe(a)
+	if f, i := m.PrivilegedOps(); f != 0 || i != 0 {
+		t.Fatalf("unprivileged traffic counted as privileged: flushes=%d invlpg=%d", f, i)
+	}
+	m.Flush(a)
+	m.InvalidatePage(a)
+	m.InvalidatePage(a)
+	if f, i := m.PrivilegedOps(); f != 1 || i != 2 {
+		t.Fatalf("privileged ops = %d/%d, want 1 flush, 2 invlpg", f, i)
+	}
+}
+
 // TestLoadNMatchesLoad checks the batched path is just Load in a loop:
 // same results, same clock and counter movement.
 func TestLoadNMatchesLoad(t *testing.T) {

@@ -121,3 +121,11 @@ type Snapshot struct {
 func (s Snapshot) Delta(c *Counters, e Event) uint64 {
 	return c.counts[e] - s.counts[e]
 }
+
+// Advanced reports whether the event moved at all since the snapshot —
+// the boolean the eviction-set verdicts ask ("did this load cause a
+// walk?", "did the leaf PTE come from DRAM?") without caring by how
+// much.
+func (s Snapshot) Advanced(c *Counters, e Event) bool {
+	return c.counts[e] != s.counts[e]
+}

@@ -48,6 +48,22 @@ func TestSnapshotDelta(t *testing.T) {
 	}
 }
 
+func TestSnapshotAdvanced(t *testing.T) {
+	var c Counters
+	c.Add(L1PTEMemoryFetch, 7)
+	s := c.Snapshot()
+	if s.Advanced(&c, L1PTEMemoryFetch) {
+		t.Fatal("unmoved counter reported as advanced")
+	}
+	c.Inc(L1PTEMemoryFetch)
+	if !s.Advanced(&c, L1PTEMemoryFetch) {
+		t.Fatal("moved counter not reported as advanced")
+	}
+	if s.Advanced(&c, DRAMActivate) {
+		t.Fatal("untouched event reported as advanced")
+	}
+}
+
 func TestEventStrings(t *testing.T) {
 	want := map[Event]string{
 		DTLBLoadMissesWalk:  "dtlb_load_misses.miss_causes_a_walk",

@@ -14,11 +14,13 @@ package sweep
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"pthammer/internal/evset"
 	"pthammer/internal/machine"
 	"pthammer/internal/mem"
 	"pthammer/internal/phys"
@@ -52,6 +54,19 @@ type Spec struct {
 	// DRAM path instead of cache hits.
 	FlushBetween bool
 
+	// EvictBetween drives the sweep the way the paper's unprivileged
+	// attacker must: each shard builds, once, a TLB eviction set and a
+	// leaf-PTE LLC eviction set per address (Algorithm 1, via
+	// internal/evset) and walks both before every timed replay, so the
+	// timed loads measure the full implicit-access path — a hardware
+	// walk whose leaf PTE comes from DRAM — with zero flush or invlpg.
+	// Mutually exclusive with FlushBetween.
+	EvictBetween bool
+
+	// Evict tunes the per-shard eviction-set construction when
+	// EvictBetween is set; the zero value selects evset's defaults.
+	Evict evset.Options
+
 	// Workers caps the worker pool; 0 means GOMAXPROCS. The worker
 	// count never affects results, only how shards overlap in time.
 	Workers int
@@ -71,6 +86,8 @@ func (s Spec) validate() error {
 		return fmt.Errorf("sweep: pad step must be positive (got %d)", s.PadStep)
 	case s.PadMin < 0 || s.PadMax < s.PadMin:
 		return fmt.Errorf("sweep: bad padding range [%d, %d]", s.PadMin, s.PadMax)
+	case s.FlushBetween && s.EvictBetween:
+		return fmt.Errorf("sweep: FlushBetween and EvictBetween are mutually exclusive")
 	}
 	return nil
 }
@@ -130,6 +147,56 @@ func (h *Histogram) Bins() []Bin {
 	}
 	sort.Slice(bins, func(i, j int) bool { return bins[i].Latency < bins[j].Latency })
 	return bins
+}
+
+// Quantile returns the smallest latency at or below which at least
+// ⌈q·Total⌉ samples lie (q in [0,1]; q=0 is the minimum, q=1 the
+// maximum). Zero-sample histograms report 0. The walk over sorted bins
+// makes it a pure function of the recorded samples, so summary tables
+// derived from bit-identical histograms are themselves bit-identical.
+func (h *Histogram) Quantile(q float64) timing.Cycles {
+	return h.Quantiles(q)[0]
+}
+
+// Quantiles answers several quantile queries with a single bin sort —
+// the summary-table path asks for min/p25/p50/p90/max per histogram
+// and should not pay five sorts for it.
+func (h *Histogram) Quantiles(qs ...float64) []timing.Cycles {
+	out := make([]timing.Cycles, len(qs))
+	if h.total == 0 {
+		return out
+	}
+	bins := h.Bins()
+	for i, q := range qs {
+		rank := uint64(math.Ceil(q * float64(h.total)))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > h.total {
+			rank = h.total
+		}
+		var seen uint64
+		for _, b := range bins {
+			seen += b.Count
+			if seen >= rank {
+				out[i] = b.Latency
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Mean returns the average sample latency in cycles (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for c, n := range h.counts {
+		sum += float64(c) * float64(n)
+	}
+	return sum / float64(h.total)
 }
 
 // Merge folds other's samples into h.
@@ -222,13 +289,31 @@ func Run(s Spec) (*Result, error) {
 }
 
 // runShard measures one padding value on a fresh, deterministically
-// seeded machine.
+// seeded machine. In EvictBetween mode it first runs Algorithm 1 on
+// that machine — the construction is deterministic for the shard's
+// seed, so the merged sweep stays bit-identical for any worker count.
 func (s Spec) runShard(shard, pad int) (*Histogram, error) {
 	cfg := s.Machine
 	cfg.NoiseSeed = shardSeed(s.BaseSeed, shard)
 	m, err := machine.New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	var tlbs []*evset.TLBSet
+	var llcs []*evset.LLCSet
+	if s.EvictBetween {
+		tlbs = make([]*evset.TLBSet, len(s.Addrs))
+		llcs = make([]*evset.LLCSet, len(s.Addrs))
+		for i, a := range s.Addrs {
+			// Every other target page is excluded from this target's
+			// streams, so priming one never re-installs another.
+			if tlbs[i], err = evset.BuildTLB(m, a, s.Addrs, s.Evict); err != nil {
+				return nil, fmt.Errorf("sweep: shard %d addr %#x: %w", shard, uint64(a), err)
+			}
+			if llcs[i], err = evset.BuildLLCPTE(m, a, tlbs[i], s.Addrs, s.Evict); err != nil {
+				return nil, fmt.Errorf("sweep: shard %d addr %#x: %w", shard, uint64(a), err)
+			}
+		}
 	}
 	h := NewHistogram()
 	nopCost := cfg.Lat.NOP * timing.Cycles(pad)
@@ -238,6 +323,12 @@ func (s Spec) runShard(shard, pad int) (*Histogram, error) {
 		if s.FlushBetween {
 			for _, a := range s.Addrs {
 				m.Flush(a)
+			}
+		}
+		if s.EvictBetween {
+			for i := range tlbs {
+				tlbs[i].Evict(m)
+				llcs[i].Evict(m)
 			}
 		}
 		// Execute the padding NOPs, then replay the address stream as

@@ -28,6 +28,26 @@ func testSpec() Spec {
 	}
 }
 
+// evictSpec is a small eviction-driven sweep: two targets in distinct
+// 2 MiB regions, light noise, a couple of padding points. Every shard
+// runs Algorithm 1 before measuring.
+func evictSpec() Spec {
+	cfg := machine.SandyBridge()
+	cfg.NoiseProb = 0.05
+	cfg.NoiseMin = 100
+	cfg.NoiseMax = 400
+	return Spec{
+		Machine:      cfg,
+		Addrs:        []phys.Addr{0x0, 0x200000},
+		PadMin:       0,
+		PadMax:       20,
+		PadStep:      10,
+		Reps:         8,
+		EvictBetween: true,
+		BaseSeed:     7,
+	}
+}
+
 func TestRunValidatesSpec(t *testing.T) {
 	bad := []func(*Spec){
 		func(s *Spec) { s.Addrs = nil },
@@ -36,6 +56,7 @@ func TestRunValidatesSpec(t *testing.T) {
 		func(s *Spec) { s.PadMin = -1 },
 		func(s *Spec) { s.PadMax = s.PadMin - 1 },
 		func(s *Spec) { s.Machine.FreqHz = 0 },
+		func(s *Spec) { s.EvictBetween = true }, // both modes at once
 	}
 	for i, mutate := range bad {
 		s := testSpec()
@@ -129,6 +150,60 @@ func TestSweepSeparatesCachedFromFlushed(t *testing.T) {
 	}
 }
 
+// TestEvictSweepMeasuresImplicitPath: in EvictBetween mode every timed
+// load rides the full implicit-access path — translation evicted by
+// the TLB set, leaf PTE evicted by the LLC set — so no sample can be a
+// warm TLB+L1 hit, and the slow tail reaches DRAM-walk latencies.
+func TestEvictSweepMeasuresImplicitPath(t *testing.T) {
+	s := evictSpec()
+	s.Machine.NoiseProb = 0 // deterministic latencies for the bounds below
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := s.Machine.Lat
+	merged := res.Merged()
+	warm := lat.TLBL1Hit + lat.L1Hit
+	if merged.Count(warm) != 0 {
+		t.Fatal("eviction-driven sweep produced warm-hit samples")
+	}
+	// Every sample at least walked: one walk step plus a memory fetch
+	// on the translation side alone.
+	if min := merged.Quantile(0); min < lat.PageWalkStep+lat.L1Hit {
+		t.Fatalf("minimum sample %d below any possible walk", min)
+	}
+	// And the leaf-PTE DRAM fetch shows up in the distribution.
+	if max := merged.Quantile(1); max < lat.DRAMRowHit {
+		t.Fatalf("maximum sample %d never reached DRAM", max)
+	}
+}
+
+// TestEvictSweepDeterministicAcrossWorkerCounts extends the engine's
+// core contract to the eviction-driven mode: per-shard Algorithm 1
+// construction happens on the shard's own deterministically seeded
+// machine, so worker count still cannot change a single sample.
+func TestEvictSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	s := evictSpec()
+	s.Workers = 1
+	serial, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0) + 1} {
+		s.Workers = workers
+		par, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.Points {
+			a, b := serial.Points[i], par.Points[i]
+			if a.Padding != b.Padding || !a.Hist.Equal(b.Hist) {
+				t.Fatalf("%d workers: padding %d histogram differs from serial run", workers, a.Padding)
+			}
+		}
+	}
+}
+
 // TestShardSeedsDiffer guards the seed mix: shards must not share noise
 // streams just because the base seed is small.
 func TestShardSeedsDiffer(t *testing.T) {
@@ -164,6 +239,29 @@ func TestHistogramMergeAndEqual(t *testing.T) {
 	bins := a.Bins()
 	if len(bins) != 3 || bins[0].Latency != 5 || bins[2].Latency != 300 {
 		t.Fatalf("bins = %+v", bins)
+	}
+}
+
+func TestHistogramQuantileAndMean(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for _, c := range []timing.Cycles{10, 10, 10, 20, 20, 30, 30, 30, 30, 100} {
+		h.Add(c)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want timing.Cycles
+	}{
+		{0, 10}, {0.25, 10}, {0.5, 20}, {0.9, 30}, {1, 100},
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%.2f) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Mean(); got != 29 {
+		t.Errorf("Mean = %v, want 29", got)
 	}
 }
 
