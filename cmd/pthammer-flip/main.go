@@ -1,0 +1,100 @@
+// Command pthammer-flip characterises the repository's disturbance-
+// error engine the way "Flipping Bits in Memory Without Accessing
+// Them" characterises real modules: for each DRAM module class
+// (internal/flip profiles A/B/C) it builds the full escalation layout
+// on the demo machine (bench.EscalationConfig — sprayed victim page
+// tables, measured eviction sets, flush-free hammer), hammers for a
+// fixed iteration budget, and tabulates time-to-first-flip and
+// flips-per-10⁶-iterations. It then runs the class-A
+// pte-flip-escalation demo end to end and reports the exploit chain.
+//
+// Every number in the output is simulated state (iterations, windows,
+// cycle-derived milliseconds, addresses), never wall-clock, so the
+// bytes are a pure function of (seed, iters): reruns are
+// bit-identical, which the CI smoke run asserts by diffing two
+// invocations. The command exits non-zero if no class produces a flip
+// — a broken flip engine should redden CI, not emit an empty table.
+//
+// Usage:
+//
+//	pthammer-flip [-seed N] [-iters N] [-escalate-iters N] [-o FILE]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"pthammer/internal/bench"
+	"pthammer/internal/flip"
+	"pthammer/internal/machine"
+)
+
+// simMillis converts simulated cycles to milliseconds at the demo
+// machine's clock rate.
+func simMillis(cycles uint64) float64 {
+	return float64(cycles) / float64(machine.SandyBridge().FreqHz) * 1e3
+}
+
+// render runs the per-class flip-rate table plus the class-A
+// escalation and returns the full deterministic report.
+func render(seed int64, iters, escalateIters uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# pthammer-flip preset=SandyBridge(escalation layout) seed=%d iters=%d\n", seed, iters)
+	fmt.Fprintf(&buf, "# table 1: time-to-first-flip and flip rate per DRAM module class\n")
+	fmt.Fprintf(&buf, "class\tattempts_per_window\texcess_scale\tbias_1to0\tfirst_flip_iter\tfirst_flip_sim_ms\twindows\tflips\tflips_per_1e6_iters\n")
+	totalFlips := 0
+	for _, p := range flip.Profiles() {
+		run, err := bench.RunFlipRate(p, seed, iters)
+		if err != nil {
+			return nil, fmt.Errorf("class %s: %w", p.Name, err)
+		}
+		totalFlips += run.Flips
+		fmt.Fprintf(&buf, "%s\t%d\t%g\t%g\t%d\t%.3f\t%d\t%d\t%.1f\n",
+			p.Name, p.AttemptsPerWindow, p.ExcessScale, p.OneToZeroBias,
+			run.FirstFlipIter, simMillis(uint64(run.FirstFlipCycles)),
+			run.Windows, run.Flips, run.FlipsPerMillionIters())
+	}
+	if totalFlips == 0 {
+		return nil, fmt.Errorf("no module class produced a flip within %d iterations — flip engine broken?", iters)
+	}
+
+	res, err := bench.RunEscalationDemo(flip.ClassA(), seed, escalateIters)
+	if err != nil {
+		return nil, fmt.Errorf("escalation: %w", err)
+	}
+	fmt.Fprintf(&buf, "# table 2: pte-flip-escalation (class A): flip -> Translate divergence -> PTE rewrite -> kernel write\n")
+	fmt.Fprintf(&buf, "iterations\twindows\tflips\tfirst_flip_iter\tsim_ms\tcorrupt_va\ttable_frame\trewritten_va\tsecret_frame\n")
+	fmt.Fprintf(&buf, "%d\t%d\t%d\t%d\t%.3f\t%#x\t%#x\t%#x\t%#x\n",
+		res.Iterations, res.Windows, res.TotalFlips, res.FirstFlipIter,
+		simMillis(uint64(res.Cycles)),
+		uint64(res.CorruptVA), uint64(res.TableFrame),
+		uint64(res.RewrittenVA), uint64(res.SecretFrame))
+	return buf.Bytes(), nil
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "seed for the flip models; the whole report is deterministic per seed")
+	iters := flag.Uint64("iters", 8000, "hammer iterations per module class for the rate table")
+	escalateIters := flag.Uint64("escalate-iters", 500_000, "iteration budget for the class-A escalation demo")
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "pthammer-flip:", err)
+		os.Exit(1)
+	}
+	report, err := render(*seed, *iters, *escalateIters)
+	if err != nil {
+		fail(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(report)
+		return
+	}
+	if err := os.WriteFile(*out, report, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Println("wrote", *out)
+}

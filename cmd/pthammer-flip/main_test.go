@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// smallReport keeps the determinism check fast: a budget big enough
+// for class A (and usually C) to flip, small enough for CI.
+func smallReport(t *testing.T) []byte {
+	t.Helper()
+	out, err := render(1, 2500, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestReportDeterministic is the command's contract: two renders with
+// the same seed produce bit-identical bytes — the property the CI
+// smoke run asserts by diffing two full invocations.
+func TestReportDeterministic(t *testing.T) {
+	a := smallReport(t)
+	b := smallReport(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("reports differ across reruns:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}
+
+// TestReportLayout pins the table layout downstream tooling parses:
+// one row per module class, both header lines, and the escalation row.
+func TestReportLayout(t *testing.T) {
+	out := smallReport(t)
+	for _, want := range []string{
+		"# table 1: time-to-first-flip and flip rate per DRAM module class",
+		"class\tattempts_per_window\texcess_scale\tbias_1to0\tfirst_flip_iter\tfirst_flip_sim_ms\twindows\tflips\tflips_per_1e6_iters",
+		"\nA\t", "\nB\t", "\nC\t",
+		"# table 2: pte-flip-escalation (class A)",
+		"iterations\twindows\tflips\tfirst_flip_iter\tsim_ms\tcorrupt_va\ttable_frame\trewritten_va\tsecret_frame",
+	} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,519 @@
+// The privilege-escalation demo: PThammer's payoff (paper §V, the
+// same exploitation shape as Seaborn's PTE spray). The attack runs the
+// flush-free implicit-hammer loop against an aggressor pair chosen so
+// the sandwiched victim row holds leaf page tables whose entries are a
+// single bit flip away from pointing at *other page tables*. The
+// attacker sprays mappings through those tables, hammers until the
+// machine's flip model corrupts one of the sprayed PTEs, notices the
+// damage purely from user space (a translation diverging from the
+// known identity layout), and then owns translation: the corrupted
+// PTE maps an attacker page onto a page-table frame, so a plain user
+// store through that page rewrites the attacker's own PTEs — from
+// which any physical frame, kernel memory included, is one store away.
+//
+// Everything the attacker does after machine setup is a demand load, a
+// timed probe, or a plain store: the privileged-operation counters
+// stay frozen end to end, which the acceptance test asserts.
+package bench
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pthammer/internal/dram"
+	"pthammer/internal/evset"
+	"pthammer/internal/flip"
+	"pthammer/internal/machine"
+	"pthammer/internal/pagetable"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+)
+
+// escalationSeedRegions is how many 2 MiB regions PlanEscalation
+// touches while hunting for a sprayable aggressor pair. It must reach
+// past the pair whose victim row maps a sprayable region (regions
+// 222/286 with victim tables for 254/255 on the SandyBridge layout).
+const escalationSeedRegions = 320
+
+// escalationMarker is the value the attacker's final store plants in
+// kernel memory to prove arbitrary physical write.
+const escalationMarker = 0x5054_4861_6d6d_6572 // "PTHammer"
+
+// EscalationConfig is the scaled-down demo machine: the SandyBridge
+// preset with the hammer threshold lowered and the refresh window
+// shortened so one window holds roughly 48 hammer iterations (~7.2 k
+// cycles each). That puts the double-sided victim row at ~96
+// activations of pressure per window — comfortably past the threshold
+// of 64 — while the single-sided neighbours of the aggressor rows stay
+// below it, so flips land only in the victim row. The model is wired
+// as the machine's flip engine.
+func EscalationConfig(model *flip.Model) machine.Config {
+	cfg := machine.SandyBridge()
+	cfg.DRAM.HammerThreshold = 64
+	cfg.DRAM.RefreshWindow = 350_000
+	cfg.FlipModel = model
+	return cfg
+}
+
+// EscalationPlan is the attacker's layout for one escalation run: the
+// aggressor pair, the pages sprayed through the victim row's page
+// tables, the pages kept out of every eviction stream, and the thrash
+// stream that scrubs the TLBs before a detection scan.
+type EscalationPlan struct {
+	Pair ImplicitPair
+	// VictimRegions are the 2 MiB region bases whose leaf page tables
+	// sit inside the victim row — the tables a flip will corrupt.
+	VictimRegions []phys.Addr
+	// Spray is every page mapped through the victim-row tables. The
+	// attacker touches them all so the tables fill with present PTEs,
+	// and rescans their translations to detect flips.
+	Spray []phys.Addr
+	// Sprayable counts the (page, bit) positions where a single-bit
+	// flip of a sprayed PTE's frame number lands on a known page-table
+	// frame — the jackpot surface the hammer is fishing for.
+	Sprayable int
+	// Exclude is handed to eviction-set construction: every page whose
+	// leaf PT sits in or adjacent to the hammered rows, so no stream
+	// load ever goes through a PTE a flip might corrupt.
+	Exclude []phys.Addr
+	// Thrash is one region's worth of pages covering every TLB set at
+	// full associativity: loading them all evicts every stale sprayed
+	// translation, so the following Translate calls re-walk the
+	// (possibly corrupted) tables.
+	Thrash []phys.Addr
+
+	// ptOf maps each known leaf-PT frame to the base VA of the 2 MiB
+	// region it maps; refreshed by RunEscalation after construction so
+	// it also covers tables demand-allocated while building the
+	// eviction sets.
+	ptOf map[phys.Frame]phys.Addr
+}
+
+// regionPages appends every page base of the 2 MiB region to out.
+func regionPages(base phys.Addr, out []phys.Addr) []phys.Addr {
+	for off := uint64(0); off < pagetable.Span(2); off += phys.FrameSize {
+		out = append(out, base+phys.Addr(off))
+	}
+	return out
+}
+
+// leafPTs maps every currently-known leaf-PT frame to its region base,
+// walking region bases below the kernel pool.
+func leafPTs(m *machine.Machine) map[phys.Frame]phys.Addr {
+	base, _ := m.PageTables().Region()
+	limit := base.Addr()
+	out := make(map[phys.Frame]phys.Addr)
+	span := pagetable.Span(2)
+	for va := phys.Addr(0); va < limit; va += phys.Addr(span) {
+		if pte, ok := m.PTEAddr(va, 1); ok {
+			out[phys.FrameOf(pte)] = va
+		}
+	}
+	return out
+}
+
+// sameBank reports whether two locations address the same DRAM bank.
+func sameBank(a, b dram.Location) bool {
+	return a.Channel == b.Channel && a.Rank == b.Rank && a.Bank == b.Bank
+}
+
+// PlanEscalation lays out the attack on a fresh machine. It touches up
+// to escalationSeedRegions regions (demand-allocating their page
+// tables), then picks the first same-bank two-rows-apart PTE pair
+// whose victim row holds leaf page tables with a non-empty jackpot
+// surface: at least one sprayed page's identity frame is a single bit
+// flip away from a known page-table frame. It sprays the victim
+// regions, premaps a TLB-thrash region, and computes the exclusion
+// set for eviction-set construction. Only demand loads are issued.
+func PlanEscalation(m *machine.Machine) (*EscalationPlan, error) {
+	span := pagetable.Span(2)
+	geom := m.DRAM().Config()
+	poolBase, _ := m.PageTables().Region()
+	limit := poolBase.Addr()
+
+	type cand struct {
+		va  phys.Addr
+		pte phys.Addr
+	}
+	var cands []cand
+	for k := 0; k < escalationSeedRegions && phys.Addr(uint64(k)*span) < limit; k++ {
+		va := phys.Addr(uint64(k) * span)
+		m.Load(va)
+		if pte, ok := m.PTEAddr(va, 1); ok {
+			cands = append(cands, cand{va: va, pte: pte})
+		}
+	}
+	ptOf := leafPTs(m)
+	frameBits := bits.Len64(m.Memory().Frames() - 1)
+
+	// sprayableIn counts single-bit jackpot positions over one region's
+	// identity frames: bit j of page frame f flipping onto a known
+	// page-table frame.
+	sprayableIn := func(base phys.Addr) int {
+		n := 0
+		first := phys.FrameOf(base)
+		for p := uint64(0); p < span/phys.FrameSize; p++ {
+			f := first + phys.Frame(p)
+			for j := 0; j < frameBits; j++ {
+				if _, ok := ptOf[f^phys.Frame(1)<<j]; ok {
+					n++
+				}
+			}
+		}
+		return n
+	}
+
+	for i := range cands {
+		for j := i + 1; j < len(cands); j++ {
+			a, b := geom.Map(cands[i].pte), geom.Map(cands[j].pte)
+			if !sameBank(a, b) {
+				continue
+			}
+			lo, hi := cands[i], cands[j]
+			loLoc, hiLoc := a, b
+			if loLoc.Row > hiLoc.Row {
+				lo, hi = hi, lo
+				loLoc, hiLoc = hiLoc, loLoc
+			}
+			if hiLoc.Row-loLoc.Row != 2 {
+				continue
+			}
+			victimRow := loLoc.Row + 1
+			start, rowBytes := geom.RowRange(loLoc.Channel, loLoc.Rank, loLoc.Bank, victimRow)
+
+			// Which regions' leaf tables live in the victim row, and is
+			// any of them sprayable?
+			var victims []phys.Addr
+			sprayable := 0
+			for f := phys.FrameOf(start); f <= phys.FrameOf(start+phys.Addr(rowBytes-1)); f++ {
+				if base, ok := ptOf[f]; ok {
+					victims = append(victims, base)
+					sprayable += sprayableIn(base)
+				}
+			}
+			if sprayable == 0 {
+				continue
+			}
+
+			plan := &EscalationPlan{
+				Pair: ImplicitPair{
+					VA1: lo.va, VA2: hi.va,
+					PTE1: lo.pte, PTE2: hi.pte,
+					Loc1: loLoc, Loc2: hiLoc,
+					VictimRow: victimRow,
+				},
+				VictimRegions: victims,
+				Sprayable:     sprayable,
+				ptOf:          ptOf,
+			}
+			// Spray: map every page of the victim regions so their
+			// tables fill with present PTEs — the flip targets.
+			for _, base := range victims {
+				plan.Spray = regionPages(base, plan.Spray)
+			}
+			for _, va := range plan.Spray {
+				m.Load(va)
+			}
+			// Exclude from eviction streams every page whose leaf PT
+			// sits in [aggressor low row - 1, aggressor high row + 1] of
+			// the hammered bank: those tables hold all the entries a
+			// flip could conceivably corrupt (the victim row by design,
+			// its neighbours under drift), and a corrupted stream
+			// translation could resolve anywhere.
+			for _, c := range cands {
+				loc := geom.Map(c.pte)
+				if sameBank(loc, loLoc) && loc.Row+1 >= loLoc.Row && loc.Row <= hiLoc.Row+1 {
+					plan.Exclude = regionPages(c.va, plan.Exclude)
+				}
+			}
+			if err := plan.pickThrash(m, geom, loLoc, hiLoc); err != nil {
+				return nil, err
+			}
+			return plan, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: no sprayable aggressor pair within %d regions", escalationSeedRegions)
+}
+
+// pickThrash premaps the TLB-scrub region: one full 2 MiB region (512
+// consecutive pages touch every dTLB and sTLB set at associativity, so
+// loading them all evicts every stale translation) whose own leaf PT
+// must sit outside the hammered rows. Regions are probed downward from
+// the top of user space.
+func (plan *EscalationPlan) pickThrash(m *machine.Machine, geom dram.Config, loLoc, hiLoc dram.Location) error {
+	span := pagetable.Span(2)
+	poolBase, _ := m.PageTables().Region()
+	limit := poolBase.Addr()
+	victims := make(map[phys.Addr]bool, len(plan.VictimRegions))
+	for _, v := range plan.VictimRegions {
+		victims[v] = true
+	}
+	for r := uint64(limit) / span; r > 0; r-- {
+		base := phys.Addr((r - 1) * span)
+		if base+phys.Addr(span) > limit || victims[base] {
+			continue
+		}
+		m.Premap(base, span)
+		pte, ok := m.PTEAddr(base, 1)
+		if !ok {
+			continue
+		}
+		loc := geom.Map(pte)
+		if sameBank(loc, loLoc) && loc.Row+1 >= loLoc.Row && loc.Row <= hiLoc.Row+1 {
+			continue // this region's own PTEs are themselves corruptible
+		}
+		plan.Thrash = regionPages(base, nil)
+		return nil
+	}
+	return fmt.Errorf("bench: no safe TLB-thrash region below the kernel pool")
+}
+
+// scan scrubs the TLBs with the thrash stream, then re-translates
+// every sprayed page, looking for a translation that diverged from the
+// identity layout onto a known page-table frame. (page, table)
+// combinations already found unexploitable are skipped. Plain loads
+// and translations only.
+func (plan *EscalationPlan) scan(m *machine.Machine, rejected map[rejection]bool) (va phys.Addr, table phys.Frame, ok bool) {
+	for _, a := range plan.Thrash {
+		m.Load(a)
+	}
+	for _, s := range plan.Spray {
+		frame, _ := m.Translate(s)
+		if frame == phys.FrameOf(s) {
+			continue
+		}
+		if _, isPT := plan.ptOf[frame]; !isPT || rejected[rejection{s, frame}] {
+			continue
+		}
+		return s, frame, true
+	}
+	return 0, 0, false
+}
+
+// EscalationResult records one completed escalation.
+type EscalationResult struct {
+	// Iterations and Windows count the hammer phase; Cycles is its
+	// simulated duration.
+	Iterations uint64
+	Windows    uint64
+	Cycles     timing.Cycles
+	// FirstFlipIter / FirstFlipCycles locate the first disturbance
+	// error of the run (iteration is 1-based; 0 means none landed).
+	FirstFlipIter   uint64
+	FirstFlipCycles timing.Cycles
+	// TotalFlips is every flip the model produced, jackpot or not.
+	TotalFlips int
+	// CorruptVA is the sprayed page whose leaf PTE the winning flip
+	// corrupted; it now maps TableFrame, the leaf page table of the
+	// region at TableRegion.
+	CorruptVA   phys.Addr
+	TableFrame  phys.Frame
+	TableRegion phys.Addr
+	// RewrittenVA is the attacker page whose PTE was rewritten through
+	// CorruptVA; it now maps SecretFrame — an untouched kernel
+	// page-table-pool frame — and the attacker's marker store landed
+	// there (the marker is read back for verification).
+	RewrittenVA phys.Addr
+	SecretFrame phys.Frame
+}
+
+// exploit turns one detected jackpot into the escalation: the
+// corrupted page CorruptVA maps the leaf page table of TableRegion, so
+// a plain user store through it installs a fresh PTE mapping an
+// untouched attacker page onto an untouched kernel-pool frame, and a
+// second plain store through that page writes kernel memory.
+func (plan *EscalationPlan) exploit(m *machine.Machine, corruptVA phys.Addr, table phys.Frame, res *EscalationResult) error {
+	region := plan.ptOf[table]
+	// Find a free slot: an entry still zero means its page was never
+	// mapped, so no stale translation exists anywhere. (The attacker
+	// reads the table through its newly-won window; the simulator has
+	// no data-value load path, so the same bytes are read via phys.)
+	slot := -1
+	for idx := 0; idx < pagetable.EntriesPerTable; idx++ {
+		if m.Memory().Read64(table.Addr()+phys.Addr(idx*pagetable.EntryBytes)) == 0 {
+			slot = idx
+			break
+		}
+	}
+	if slot < 0 {
+		return fmt.Errorf("bench: table %#x fully mapped, no free slot", uint64(table))
+	}
+	base, frames := m.PageTables().Region()
+	if m.PageTables().Allocated() >= int(frames) {
+		return fmt.Errorf("bench: table pool exhausted, no untouched kernel frame")
+	}
+	secret := base + phys.Frame(frames-1)
+
+	// Rewrite the attacker's own PTE: a plain user store through the
+	// corrupted mapping lands in the page table itself.
+	m.Store64(corruptVA+phys.Addr(slot*pagetable.EntryBytes), uint64(pagetable.NewEntry(secret)))
+	vaW := region + phys.Addr(uint64(slot)*phys.FrameSize)
+	if got, _ := m.Translate(vaW); got != secret {
+		return fmt.Errorf("bench: rewritten PTE resolves %#x, want %#x", uint64(got), uint64(secret))
+	}
+	// The attacker now maps kernel memory: prove it with a marker
+	// store through the remapped page.
+	m.Store64(vaW, escalationMarker)
+	if got := m.Memory().Read64(secret.Addr()); got != escalationMarker {
+		return fmt.Errorf("bench: marker missing from kernel frame: read %#x", got)
+	}
+	res.CorruptVA = corruptVA
+	res.TableFrame = table
+	res.TableRegion = region
+	res.RewrittenVA = vaW
+	res.SecretFrame = secret
+	return nil
+}
+
+// rejection identifies one unusable divergence: the page plus the
+// table it was remapped onto. Keying on the pair (not the page alone)
+// keeps a page in play for later, different flips.
+type rejection struct {
+	va    phys.Addr
+	table phys.Frame
+}
+
+// RunEscalation hammers until a model-driven flip lands in one of the
+// victim row's page tables in an exploitable way, then performs the
+// escalation. Detection is purely attacker-side: once per refresh
+// window — the attacker schedules rescans from rdtsc and the known
+// tREFW, not from any oracle — the sprayed translations are rescanned
+// (thrash loads + Translate) for divergence, so the reported cycles
+// include every scan a real attacker pays for. Corrupted-but-useless
+// (page, table) combinations are remembered and skipped. The hammer
+// loop, detection, and exploit use no privileged operation.
+func RunEscalation(m *machine.Machine, h *ImplicitHammer, plan *EscalationPlan, maxIters uint64) (EscalationResult, error) {
+	model := m.FlipModel()
+	if model == nil {
+		return EscalationResult{}, fmt.Errorf("bench: escalation needs a machine with a flip model")
+	}
+	// Refresh the table map: eviction-set construction demand-allocated
+	// more page tables since the plan was laid out, and a flip landing
+	// on any of them is just as exploitable.
+	plan.ptOf = leafPTs(m)
+
+	// Construction already rotated windows (and could in principle have
+	// flipped); everything reported below is the hammer phase's own
+	// delta past these marks.
+	windows0 := model.Windows()
+	flips0 := len(model.Flips())
+
+	var res EscalationResult
+	start := m.Clock().Now()
+	window := timing.Cycles(m.Config().DRAM.RefreshWindow)
+	nextScan := start + window
+	rejected := make(map[rejection]bool)
+	for it := uint64(0); it < maxIters; it++ {
+		h.HammerOnce(m)
+		res.Iterations = it + 1
+		if res.FirstFlipIter == 0 && len(model.Flips()) > flips0 {
+			res.FirstFlipIter = it + 1
+			res.FirstFlipCycles = m.Clock().Now() - start
+		}
+		if window == 0 || m.Clock().Now() < nextScan {
+			continue
+		}
+		va, table, ok := plan.scan(m, rejected)
+		for nextScan <= m.Clock().Now() {
+			nextScan += window
+		}
+		if !ok {
+			continue
+		}
+		if err := plan.exploit(m, va, table, &res); err != nil {
+			rejected[rejection{va, table}] = true
+			continue
+		}
+		res.Windows = model.Windows() - windows0
+		res.Cycles = m.Clock().Now() - start
+		res.TotalFlips = len(model.Flips()) - flips0
+		return res, nil
+	}
+	return res, fmt.Errorf("bench: no exploitable flip within %d iterations (%d flips landed)",
+		maxIters, len(model.Flips())-flips0)
+}
+
+// BuildEscalation assembles the whole attack on a fresh machine: flip
+// model, demo machine, plan (spray + exclusions + thrash), and the
+// eviction-driven hammer for the planned pair. The refresh window is
+// reset by hammer construction, so the run starts from zero pressure.
+func BuildEscalation(profile flip.Profile, seed int64) (*machine.Machine, *EscalationPlan, *ImplicitHammer, error) {
+	model, err := flip.NewModel(profile, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m, err := machine.New(EscalationConfig(model))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	plan, err := PlanEscalation(m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	h, err := NewImplicitHammerForPair(m, plan.Pair, plan.Exclude, evset.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return m, plan, h, nil
+}
+
+// RunEscalationDemo is the one-call end-to-end demo: build everything
+// for the profile and seed, then escalate within the iteration budget.
+func RunEscalationDemo(profile flip.Profile, seed int64, maxIters uint64) (EscalationResult, error) {
+	m, plan, h, err := BuildEscalation(profile, seed)
+	if err != nil {
+		return EscalationResult{}, err
+	}
+	return RunEscalation(m, h, plan, maxIters)
+}
+
+// FlipRun summarises a fixed-budget hammer run for the per-module-class
+// flip-rate tables (cmd/pthammer-flip).
+type FlipRun struct {
+	Profile    string
+	Iterations uint64
+	Windows    uint64
+	Flips      int
+	// FirstFlipIter is 1-based; 0 means the budget produced no flip.
+	FirstFlipIter   uint64
+	FirstFlipCycles timing.Cycles
+	Cycles          timing.Cycles
+}
+
+// FlipsPerMillionIters is the headline rate: flips per 10⁶ hammer
+// iterations.
+func (r FlipRun) FlipsPerMillionIters() float64 {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return float64(r.Flips) * 1e6 / float64(r.Iterations)
+}
+
+// RunFlipRate builds the full escalation layout (so the victim row
+// holds realistic sprayed-PTE content) and hammers for exactly iters
+// iterations, recording when the first flip lands and how many follow.
+// Deterministic per (profile, seed, iters).
+func RunFlipRate(profile flip.Profile, seed int64, iters uint64) (FlipRun, error) {
+	m, _, h, err := BuildEscalation(profile, seed)
+	if err != nil {
+		return FlipRun{}, err
+	}
+	model := m.FlipModel()
+	// Report the measured run's own deltas: construction already
+	// rotated windows before the budget started.
+	windows0 := model.Windows()
+	flips0 := len(model.Flips())
+	start := m.Clock().Now()
+	out := FlipRun{Profile: profile.Name, Iterations: iters}
+	for it := uint64(0); it < iters; it++ {
+		h.HammerOnce(m)
+		if out.FirstFlipIter == 0 && len(model.Flips()) > flips0 {
+			out.FirstFlipIter = it + 1
+			out.FirstFlipCycles = m.Clock().Now() - start
+		}
+	}
+	out.Windows = model.Windows() - windows0
+	out.Flips = len(model.Flips()) - flips0
+	out.Cycles = m.Clock().Now() - start
+	return out, nil
+}

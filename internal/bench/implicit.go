@@ -41,8 +41,12 @@ type ImplicitPair struct {
 // to maxRegions distinct 2 MiB regions, then scans the resulting PT
 // frames for a pair of leaf PTEs in the same bank exactly two rows
 // apart. ok is false when the geometry yields no such pair within the
-// touched regions.
+// touched regions. The demand-allocation loads are construction
+// traffic, not attack traffic, so the refresh window is reset before
+// returning: the caller's first measured window starts from zero
+// pressure.
 func FindImplicitAggressors(m *machine.Machine, maxRegions int) (ImplicitPair, bool) {
+	defer m.ResetRefreshWindow()
 	span := pagetable.Span(2) // one PT covers a 2 MiB region
 	size := m.Memory().Size()
 	geom := m.DRAM().Config()
@@ -133,7 +137,21 @@ func NewImplicitHammer(m *machine.Machine, maxRegions int, opt evset.Options) (*
 	if !ok {
 		return nil, fmt.Errorf("bench: no implicit aggressor pair within %d regions", maxRegions)
 	}
-	excl := []phys.Addr{pair.VA1, pair.VA2}
+	return NewImplicitHammerForPair(m, pair, nil, opt)
+}
+
+// NewImplicitHammerForPair builds the four eviction sets for an
+// already-chosen aggressor pair. Both aggressor pages plus every
+// address in extraExclude are kept out of all candidate streams — the
+// escalation demo passes the pages mapped by hammer-adjacent page
+// tables, whose translations a flip may corrupt, so the steady-state
+// loop never loads through a corruptible PTE. Construction traffic
+// (demand-allocation and build probes for the four sets) pollutes the
+// activation window, so the refresh window is reset before returning:
+// a freshly built hammer starts from zero pressure, which
+// TestImplicitHammerStartsFromZeroPressure pins.
+func NewImplicitHammerForPair(m *machine.Machine, pair ImplicitPair, extraExclude []phys.Addr, opt evset.Options) (*ImplicitHammer, error) {
+	excl := append([]phys.Addr{pair.VA1, pair.VA2}, extraExclude...)
 	tlb1, err := evset.BuildTLB(m, pair.VA1, excl, opt)
 	if err != nil {
 		return nil, fmt.Errorf("bench: TLB set for VA1: %w", err)
@@ -150,6 +168,7 @@ func NewImplicitHammer(m *machine.Machine, maxRegions int, opt evset.Options) (*
 	if err != nil {
 		return nil, fmt.Errorf("bench: LLC set for PTE2: %w", err)
 	}
+	m.ResetRefreshWindow()
 	return &ImplicitHammer{Pair: pair, TLB1: tlb1, TLB2: tlb2, LLC1: llc1, LLC2: llc2}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"pthammer/internal/dram"
 	"pthammer/internal/evset"
+	"pthammer/internal/flip"
 	"pthammer/internal/machine"
 	"pthammer/internal/mem"
 	"pthammer/internal/phys"
@@ -41,6 +42,8 @@ func newMachine() *machine.Machine {
 //	implicit-hammer-loop flush-free PThammer: eviction-set walks + loads,
 //	                     the walker's PTE fetches do the hammering
 //	implicit-hammer-priv privileged baseline: invlpg + clflush + load
+//	pte-flip-escalation  full attack: hammer until a PTE flips, detect,
+//	                     rewrite own PTEs through the corrupted mapping
 //	cold-load-sweep      stride past cache and TLB reach, full-miss loads
 //	tlb-thrash           page stride past sTLB reach, walk-heavy loads
 //	loadn-batch-64       batched LoadN over a reused result buffer
@@ -122,6 +125,25 @@ func Scenarios() []Scenario {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					pair.HammerOncePrivileged(m)
+				}
+			},
+		},
+		{
+			// The paper's end-to-end payoff, measured as one op: build
+			// the spray layout and eviction sets on a fresh machine,
+			// hammer across refresh windows (rescanning the sprayed
+			// translations once per window) until the class-A flip
+			// model corrupts a sprayed PTE exploitably, detect the
+			// corruption from user space, and rewrite a PTE through it.
+			// Not steady-state (each op constructs a whole attack) and
+			// not load-shaped; the figure of merit is wall-clock per
+			// escalation.
+			Name: "pte-flip-escalation",
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := RunEscalationDemo(flip.ClassA(), 1, 500_000); err != nil {
+						b.Fatal(err)
+					}
 				}
 			},
 		},

@@ -182,6 +182,17 @@ func (c Config) AddrOf(l Location) phys.Addr {
 	return phys.Addr(block*c.RowBytes + l.Col)
 }
 
+// RowRange enumerates the physical addresses backed by one DRAM row:
+// the base address of (channel, rank, bank, row) at column 0 and the
+// row-buffer span in bytes. Under the open mapping a row is one
+// contiguous RowBytes-sized block, so [start, start+bytes) is exactly
+// the cells a disturbance error in that row can corrupt — the range
+// the flip engine samples victim bytes from.
+func (c Config) RowRange(channel, rank, bank int, row uint64) (start phys.Addr, bytes uint64) {
+	loc := Location{Channel: channel, Rank: rank, Bank: bank, Row: row}
+	return c.AddrOf(loc), c.RowBytes
+}
+
 // bank is the per-bank state: the open row and this refresh window's
 // activation counts. Counts live in dense per-row arrays tagged with
 // the window epoch they were written in — a stale tag reads as zero —
@@ -217,6 +228,10 @@ type DRAM struct {
 	// window carry; rotating the window just increments it. Starts at 1
 	// so the zero value in bank.epoch always reads as stale.
 	windowEpoch uint64
+	// hook, when set, receives the ended window's Stats every time the
+	// refresh window rotates naturally (the clock crossing a boundary).
+	// This is the flip engine's subscription point.
+	hook func(Stats)
 
 	// Scratch buffers reused across HammerStats calls so computing
 	// victim pressure never allocates proportionally to activity.
@@ -306,12 +321,28 @@ func (d *DRAM) activate(b *bank, row uint64) {
 	d.counters.Inc(perf.DRAMActivate)
 }
 
+// SetWindowHook subscribes fn to end-of-refresh-window reports: every
+// natural rotation (the clock crossing a window boundary) delivers the
+// ended window's Stats, computed just before the counters reset. The
+// flip engine is the intended subscriber — victim reports arrive at
+// refresh time, which is when accumulated disturbance either flips
+// cells or is wiped by the refresh. The hook runs after the window has
+// rotated, so it may read the device (Activations, HammerStats) and
+// sees the fresh window; it fires only for windows with activity.
+// ResetWindow discards a window without firing it. A nil fn
+// unsubscribes.
+func (d *DRAM) SetWindowHook(fn func(Stats)) { d.hook = fn }
+
 // rotateWindow resets activation bookkeeping when the clock has crossed
 // a refresh-window boundary. Refresh also precharges every bank, so
 // open rows close. Bumping the window epoch invalidates every count at
 // once; per-bank work is just the row-buffer close and truncating the
 // touched list (capacity retained), so rotation is O(banks) with zero
-// allocation no matter how many rows were hammered.
+// allocation no matter how many rows were hammered — unless a window
+// hook is subscribed, in which case the ended window's Stats are
+// computed (O(touched rows)) and delivered first. Rotation is lazy:
+// everything counted since the previous rotation is attributed to the
+// window that just ended, however many boundaries have elapsed.
 func (d *DRAM) rotateWindow() {
 	w := d.cfg.RefreshWindow
 	if w == 0 {
@@ -321,7 +352,39 @@ func (d *DRAM) rotateWindow() {
 	if elapsed < w {
 		return
 	}
+	var ended Stats
+	fire := false
+	if d.hook != nil {
+		for i := range d.banks {
+			if len(d.banks[i].touched) > 0 {
+				fire = true
+				break
+			}
+		}
+		if fire {
+			ended = d.stats()
+		}
+	}
 	d.windowStart += (elapsed / w) * w
+	d.windowEpoch++
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+		d.banks[i].touched = d.banks[i].touched[:0]
+	}
+	if fire {
+		d.hook(ended)
+	}
+}
+
+// ResetWindow discards the current refresh window: activation counts
+// and victim pressure drop to zero and every bank precharges, exactly
+// as if a refresh had just completed — but the window hook does not
+// fire, so no flips can result from the discarded activity. Callers
+// use it to scrub construction traffic (demand-allocation loads,
+// eviction-set build probes) out of the bookkeeping before a measured
+// hammer phase starts from a clean window.
+func (d *DRAM) ResetWindow() {
+	d.windowStart = d.clock.Now()
 	d.windowEpoch++
 	for i := range d.banks {
 		d.banks[i].openRow = -1
@@ -382,6 +445,13 @@ type Stats struct {
 // calls, so its cost is O(touched rows), independent of the geometry.
 func (d *DRAM) HammerStats() Stats {
 	d.rotateWindow()
+	return d.stats()
+}
+
+// stats computes the current window's Stats without checking for
+// rotation — the shared body of HammerStats and the end-of-window
+// report rotateWindow hands the hook.
+func (d *DRAM) stats() Stats {
 	s := Stats{WindowStart: d.windowStart}
 	d.scratchVictims = d.scratchVictims[:0]
 	for gb := range d.banks {

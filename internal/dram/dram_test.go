@@ -434,3 +434,160 @@ func BenchmarkHammerStats(b *testing.B) {
 		}
 	}
 }
+
+// TestRowRangeCoversExactlyOneRow: every address inside the reported
+// range decodes to the victim's (channel, rank, bank, row), and the
+// addresses one byte either side do not.
+func TestRowRangeCoversExactlyOneRow(t *testing.T) {
+	for _, cfg := range []Config{
+		testConfig(),
+		{Channels: 3, RanksPerChannel: 1, BanksPerRank: 2, Rows: 64, RowBytes: 8192, HammerThreshold: 1},
+	} {
+		loc := Location{Channel: cfg.Channels - 1, Rank: 0, Bank: 1, Row: 3}
+		start, bytes := cfg.RowRange(loc.Channel, loc.Rank, loc.Bank, loc.Row)
+		if bytes != cfg.RowBytes {
+			t.Fatalf("row span = %d bytes, want %d", bytes, cfg.RowBytes)
+		}
+		for _, off := range []uint64{0, 1, bytes / 2, bytes - 1} {
+			got := cfg.Map(start + phys.Addr(off))
+			if got.Channel != loc.Channel || got.Rank != loc.Rank || got.Bank != loc.Bank || got.Row != loc.Row {
+				t.Fatalf("offset %d decodes to %+v, want row %+v", off, got, loc)
+			}
+			if got.Col != off {
+				t.Fatalf("offset %d decodes to column %d", off, got.Col)
+			}
+		}
+		if start > 0 {
+			if got := cfg.Map(start - 1); got == (Location{Channel: loc.Channel, Rank: loc.Rank, Bank: loc.Bank, Row: loc.Row, Col: got.Col}) {
+				t.Fatalf("byte before range still in row: %+v", got)
+			}
+		}
+		after := cfg.Map(start + phys.Addr(bytes))
+		if after.Channel == loc.Channel && after.Rank == loc.Rank && after.Bank == loc.Bank && after.Row == loc.Row {
+			t.Fatalf("byte past range still in row: %+v", after)
+		}
+	}
+}
+
+// TestWindowHookReceivesEndedWindow: a natural rotation hands the hook
+// the ended window's stats (victims included), the device has already
+// started the fresh window when the hook runs, and idle windows do not
+// fire.
+func TestWindowHookReceivesEndedWindow(t *testing.T) {
+	cfg := testConfig()
+	cfg.RefreshWindow = 10_000
+	d, clock, _ := newTestDRAM(t, cfg)
+
+	var reports []Stats
+	d.SetWindowHook(func(s Stats) {
+		// The hook may read the device: it must observe the fresh,
+		// already-rotated window, not the one being reported.
+		if live := d.HammerStats(); live.Activations != 0 {
+			t.Errorf("hook saw %d live activations, want 0 (fresh window)", live.Activations)
+		}
+		reports = append(reports, s)
+	})
+
+	aggr1 := cfg.AddrOf(Location{Row: 5})
+	aggr2 := cfg.AddrOf(Location{Row: 7})
+	for i := 0; i < 6; i++ {
+		d.Lookup(mem.Access{Addr: aggr1})
+		d.Lookup(mem.Access{Addr: aggr2})
+	}
+	clock.Advance(20_000)
+	d.Lookup(mem.Access{Addr: aggr1}) // triggers the lazy rotation
+	if len(reports) != 1 {
+		t.Fatalf("hook fired %d times, want 1", len(reports))
+	}
+	got := reports[0]
+	if got.Activations != 12 {
+		t.Fatalf("ended window reported %d activations, want 12", got.Activations)
+	}
+	found := false
+	for _, v := range got.Victims {
+		if v.Row == 6 && v.Pressure == 12 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ended window victims = %+v, want row 6 at pressure 12", got.Victims)
+	}
+
+	// An idle crossing (only the post-rotation probe access in the
+	// window) reports once more for that access; a crossing with no
+	// activity at all stays silent.
+	clock.Advance(20_000)
+	d.Lookup(mem.Access{Addr: aggr1})
+	if len(reports) != 2 {
+		t.Fatalf("hook fired %d times after second crossing, want 2", len(reports))
+	}
+	clock.Advance(20_000)
+	if s := d.HammerStats(); s.Activations != 0 {
+		t.Fatalf("live activations = %d, want 0", s.Activations)
+	}
+	if len(reports) != 3 {
+		// The single Lookup above was the third window's only activity.
+		t.Fatalf("hook fired %d times, want 3", len(reports))
+	}
+	clock.Advance(20_000)
+	d.HammerStats() // rotation with a completely idle window: no report
+	if len(reports) != 3 {
+		t.Fatalf("idle window fired the hook (%d reports)", len(reports))
+	}
+}
+
+// TestResetWindowDiscardsWithoutFiring: ResetWindow zeroes the
+// bookkeeping, precharges the banks, and never invokes the hook — the
+// discard path construction traffic takes.
+func TestResetWindowDiscardsWithoutFiring(t *testing.T) {
+	cfg := testConfig()
+	cfg.RefreshWindow = 1 << 40 // far away: only ResetWindow rotates
+	d, _, _ := newTestDRAM(t, cfg)
+	fired := 0
+	d.SetWindowHook(func(Stats) { fired++ })
+
+	aggr1 := cfg.AddrOf(Location{Row: 5})
+	aggr2 := cfg.AddrOf(Location{Row: 7})
+	for i := 0; i < 6; i++ {
+		d.Lookup(mem.Access{Addr: aggr1})
+		d.Lookup(mem.Access{Addr: aggr2})
+	}
+	if s := d.HammerStats(); len(s.Victims) == 0 {
+		t.Fatal("expected victims before reset")
+	}
+	d.ResetWindow()
+	if fired != 0 {
+		t.Fatalf("ResetWindow fired the hook %d times", fired)
+	}
+	s := d.HammerStats()
+	if s.Activations != 0 || len(s.Victims) != 0 {
+		t.Fatalf("stats after reset = %+v, want empty", s)
+	}
+	if got := d.Activations(Location{Row: 5}); got != 0 {
+		t.Fatalf("row 5 activations after reset = %d, want 0", got)
+	}
+	// Banks precharged: the next access is a closed-row activation.
+	res := d.Lookup(mem.Access{Addr: aggr1})
+	if res.Latency != timing.DefaultLatencies().DRAMRowClosed {
+		t.Fatalf("post-reset access latency = %d, want closed-row", res.Latency)
+	}
+}
+
+// TestResetWindowWorksWithWindowingDisabled: RefreshWindow 0 means no
+// natural rotation ever happens, but an explicit reset still discards.
+func TestResetWindowWorksWithWindowingDisabled(t *testing.T) {
+	cfg := testConfig() // RefreshWindow 0
+	d, _, _ := newTestDRAM(t, cfg)
+	a := cfg.AddrOf(Location{Row: 2})
+	for i := 0; i < 4; i++ {
+		d.Lookup(mem.Access{Addr: a})
+		d.Lookup(mem.Access{Addr: cfg.AddrOf(Location{Row: 4})})
+	}
+	if d.Activations(Location{Row: 2}) == 0 {
+		t.Fatal("no activations recorded")
+	}
+	d.ResetWindow()
+	if got := d.Activations(Location{Row: 2}); got != 0 {
+		t.Fatalf("activations after reset = %d, want 0", got)
+	}
+}

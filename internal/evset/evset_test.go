@@ -5,6 +5,7 @@ import (
 
 	"pthammer/internal/machine"
 	"pthammer/internal/phys"
+	"pthammer/internal/timing"
 )
 
 // newQuiet builds the deterministic SandyBridge preset.
@@ -234,5 +235,57 @@ func TestCandidatesAvoidExcludedPTELines(t *testing.T) {
 				t.Fatalf("%s candidate %#x shares a PTE line with an excluded page", kind, uint64(a))
 			}
 		}
+	}
+}
+
+// TestCalibrateRejectsOverlappingPopulations is the regression test
+// for the threshold-inversion bug: on a noisy machine the evicted
+// population's minimum can undercut the cached minimum (a noise spike
+// landing on every cached calibration sample), which would silently
+// invert the threshold. calibrate must refuse with a diagnostic error
+// instead of handing back an unusable boundary.
+func TestCalibrateRejectsOverlappingPopulations(t *testing.T) {
+	sampler := func(lat timing.Cycles) func() (timing.Cycles, bool) {
+		return func() (timing.Cycles, bool) { return lat, true }
+	}
+	// Inverted: the evicted minimum (90) undercuts the cached one (120).
+	if _, err := calibrate(3, sampler(120), sampler(90)); err == nil {
+		t.Fatal("inverted populations accepted")
+	}
+	// Exactly equal anchors are just as undecidable.
+	if _, err := calibrate(3, sampler(100), sampler(100)); err == nil {
+		t.Fatal("coincident populations accepted")
+	}
+	// Control: separated populations calibrate to the midpoint.
+	cal, err := calibrate(3, sampler(100), sampler(300))
+	if err != nil {
+		t.Fatalf("separated populations rejected: %v", err)
+	}
+	if cal.Lo != 100 || cal.Hi != 300 || cal.Threshold != 200 {
+		t.Fatalf("calibration = %+v, want Lo 100 Hi 300 Threshold 200", cal)
+	}
+
+	// Noisy-machine shape: the cached side sees occasional spikes above
+	// the evicted side's floor; per-population minima must still anchor
+	// below, so the boundary survives the noise.
+	cachedSeq := []timing.Cycles{900, 80, 950}
+	i := 0
+	noisyCached := func() (timing.Cycles, bool) { lat := cachedSeq[i%len(cachedSeq)]; i++; return lat, true }
+	cal, err = calibrate(3, noisyCached, sampler(400))
+	if err != nil {
+		t.Fatalf("noisy cached population rejected: %v", err)
+	}
+	if cal.Lo != 80 || cal.Hi != 400 {
+		t.Fatalf("noisy calibration anchors = %+v, want minima 80/400", cal)
+	}
+
+	// Samplers that never produce a valid sample are construction
+	// failures with their own diagnostics.
+	never := func() (timing.Cycles, bool) { return 0, false }
+	if _, err := calibrate(3, never, sampler(300)); err == nil {
+		t.Fatal("calibrate accepted a cached population with no valid sample")
+	}
+	if _, err := calibrate(3, sampler(100), never); err == nil {
+		t.Fatal("calibrate accepted an evicted population with no valid sample")
 	}
 }

@@ -1,0 +1,266 @@
+package flip
+
+import (
+	"reflect"
+	"testing"
+
+	"pthammer/internal/dram"
+	"pthammer/internal/phys"
+)
+
+// testGeom is a tiny 4-bank geometry with 16 rows of 8 KiB and a low
+// hammer threshold.
+func testGeom() dram.Config {
+	return dram.Config{
+		Channels:        2,
+		RanksPerChannel: 1,
+		BanksPerRank:    2,
+		Rows:            16,
+		RowBytes:        8192,
+		HammerThreshold: 10,
+	}
+}
+
+// hotProfile flips eagerly so short tests see activity: every attempt
+// rolls with near-certain probability once the threshold is exceeded.
+func hotProfile() Profile {
+	return Profile{Name: "hot", AttemptsPerWindow: 16, ExcessScale: 1, OneToZeroBias: 0.5}
+}
+
+// boundModel builds a model over a fresh memory covering the geometry.
+func boundModel(t *testing.T, p Profile, seed int64) (*Model, *phys.Memory) {
+	t.Helper()
+	geom := testGeom()
+	mem := phys.MustNew(geom.Capacity())
+	m, err := NewModel(p, seed)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	if err := m.Bind(mem, geom); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	return m, mem
+}
+
+// victimReport builds a one-victim Stats at the given pressure.
+func victimReport(row uint64, pressure uint64) dram.Stats {
+	return dram.Stats{Victims: []dram.Victim{{
+		Channel: 1, Rank: 0, Bank: 1, Row: row, Pressure: pressure,
+	}}}
+}
+
+// fillRow writes the pattern byte over the victim row so every cell is
+// materialized with a known value.
+func fillRow(mem *phys.Memory, geom dram.Config, row uint64, pattern byte) {
+	start, bytes := geom.RowRange(1, 0, 1, row)
+	for off := uint64(0); off < bytes; off++ {
+		mem.Write8(start+phys.Addr(off), pattern)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("standard profile %s rejected: %v", p.Name, err)
+		}
+	}
+	bad := []Profile{
+		{Name: "", AttemptsPerWindow: 1, ExcessScale: 1, OneToZeroBias: 0.5},
+		{Name: "x", AttemptsPerWindow: 0, ExcessScale: 1, OneToZeroBias: 0.5},
+		{Name: "x", AttemptsPerWindow: 1, ExcessScale: 0, OneToZeroBias: 0.5},
+		{Name: "x", AttemptsPerWindow: 1, ExcessScale: -2, OneToZeroBias: 0.5},
+		{Name: "x", AttemptsPerWindow: 1, ExcessScale: 1, OneToZeroBias: 1.5},
+		{Name: "x", AttemptsPerWindow: 1, ExcessScale: 1, OneToZeroBias: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted: %+v", i, p)
+		}
+		if _, err := NewModel(p, 1); err == nil {
+			t.Errorf("NewModel accepted bad profile %d", i)
+		}
+	}
+}
+
+func TestBindRejectsReuseAndNil(t *testing.T) {
+	geom := testGeom()
+	m := MustNewModel(ClassA(), 1)
+	if err := m.Bind(nil, geom); err == nil {
+		t.Fatal("Bind(nil) accepted")
+	}
+	if err := m.Bind(phys.MustNew(geom.Capacity()), geom); err != nil {
+		t.Fatalf("first Bind: %v", err)
+	}
+	if err := m.Bind(phys.MustNew(geom.Capacity()), geom); err == nil {
+		t.Fatal("second Bind accepted")
+	}
+	var unbound Model
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OnWindow on unbound model did not panic")
+		}
+	}()
+	unbound.OnWindow(dram.Stats{})
+}
+
+// TestDeterministicPerSeed: two models with the same (profile, seed)
+// fed the same reports over identically prepared memories produce
+// bit-identical flip records; a different seed diverges.
+func TestDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []Flip {
+		m, mem := boundModel(t, hotProfile(), seed)
+		fillRow(mem, testGeom(), 5, 0xA5)
+		for w := 0; w < 8; w++ {
+			m.OnWindow(victimReport(5, 200))
+		}
+		return m.Flips()
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("hot profile produced no flips")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	c := run(43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical flip records")
+	}
+}
+
+// TestFlipsLandInsideVictimRow: every flip's address decodes back to
+// the reported victim location, and the memory really changed there.
+func TestFlipsLandInsideVictimRow(t *testing.T) {
+	geom := testGeom()
+	m, mem := boundModel(t, hotProfile(), 7)
+	fillRow(mem, geom, 3, 0xFF)
+	for w := 0; w < 4; w++ {
+		m.OnWindow(victimReport(3, 500))
+	}
+	flips := m.Flips()
+	if len(flips) == 0 {
+		t.Fatal("no flips produced")
+	}
+	for _, f := range flips {
+		loc := geom.Map(f.Addr)
+		if loc.Channel != 1 || loc.Rank != 0 || loc.Bank != 1 || loc.Row != 3 {
+			t.Fatalf("flip at %#x decodes to %+v, outside victim row", uint64(f.Addr), loc)
+		}
+		if f.Row != 3 || f.Channel != 1 || f.Bank != 1 {
+			t.Fatalf("flip record carries wrong location: %+v", f)
+		}
+	}
+	// All cells started at 1, so every flip was a 1→0 discharge and the
+	// corresponding bit now reads 0.
+	for _, f := range flips {
+		if !f.OneToZero {
+			t.Fatalf("0→1 flip recorded in an all-ones row: %+v", f)
+		}
+	}
+	// Accounting: attempts split exactly into flips and misses.
+	if m.Attempts() != m.Misses()+uint64(len(flips)) {
+		t.Fatalf("attempts %d != misses %d + flips %d", m.Attempts(), m.Misses(), len(flips))
+	}
+	if m.Windows() != 4 {
+		t.Fatalf("windows = %d, want 4", m.Windows())
+	}
+}
+
+// TestDirectionBias: an all-ones row only ever discharges, an all-zero
+// (but materialized) row only ever charges, and the recorded direction
+// matches the observable before/after state.
+func TestDirectionBias(t *testing.T) {
+	geom := testGeom()
+	m, mem := boundModel(t, hotProfile(), 11)
+	fillRow(mem, geom, 5, 0xFF) // all ones
+	fillRow(mem, geom, 9, 0x00) // all zeros, materialized
+	for w := 0; w < 6; w++ {
+		m.OnWindow(dram.Stats{Victims: []dram.Victim{
+			{Channel: 1, Rank: 0, Bank: 1, Row: 5, Pressure: 300},
+			{Channel: 1, Rank: 0, Bank: 1, Row: 9, Pressure: 300},
+		}})
+	}
+	var ones, zeros int
+	for _, f := range m.Flips() {
+		switch f.Row {
+		case 5:
+			ones++
+			if !f.OneToZero {
+				t.Fatalf("0→1 flip in all-ones row: %+v", f)
+			}
+			if got := mem.Bit(f.Addr, f.Bit); got != 0 {
+				t.Fatalf("discharged cell reads %d", got)
+			}
+		case 9:
+			zeros++
+			if f.OneToZero {
+				t.Fatalf("1→0 flip in all-zeros row: %+v", f)
+			}
+			if got := mem.Bit(f.Addr, f.Bit); got != 1 {
+				t.Fatalf("charged cell reads %d", got)
+			}
+		}
+	}
+	if ones == 0 || zeros == 0 {
+		t.Fatalf("flips: %d discharges, %d charges — want both directions", ones, zeros)
+	}
+}
+
+// TestHoleRowsNeverMaterialize: hammering a victim row whose frames
+// were never written produces no flips and no materialization — the
+// phys hole semantics flowing through the model.
+func TestHoleRowsNeverMaterialize(t *testing.T) {
+	m, mem := boundModel(t, hotProfile(), 3)
+	for w := 0; w < 8; w++ {
+		m.OnWindow(victimReport(6, 400))
+	}
+	if got := len(m.Flips()); got != 0 {
+		t.Fatalf("%d flips in a hole row, want 0", got)
+	}
+	if got := mem.Materialized(); got != 0 {
+		t.Fatalf("hole hammering materialized %d frames", got)
+	}
+	if m.Attempts() == 0 || m.Misses() != m.Attempts() {
+		t.Fatalf("attempts %d / misses %d: every hole attempt should miss", m.Attempts(), m.Misses())
+	}
+}
+
+// TestPressureGatesProbability: a barely-threshold window on a
+// slow-ramp profile flips far less often than a heavily over-hammered
+// one — the per-class pressure curve doing its job.
+func TestPressureGatesProbability(t *testing.T) {
+	count := func(pressure uint64) int {
+		p := Profile{Name: "slow", AttemptsPerWindow: 8, ExcessScale: 500, OneToZeroBias: 0.5}
+		m, mem := boundModel(t, p, 19)
+		fillRow(mem, testGeom(), 5, 0xA5)
+		for w := 0; w < 50; w++ {
+			m.OnWindow(victimReport(5, pressure))
+		}
+		return len(m.Flips())
+	}
+	atThreshold := count(10)    // excess 1 on a 500 scale: p ≈ 0.002
+	overHammered := count(5000) // excess ≈ 10× scale: p ≈ 1
+	if atThreshold >= overHammered {
+		t.Fatalf("threshold pressure flipped %d ≥ over-hammered %d", atThreshold, overHammered)
+	}
+	if overHammered < 100 {
+		t.Fatalf("over-hammered row flipped only %d times over 50 windows", overHammered)
+	}
+}
+
+// TestClassOrdering: under the same heavy workload, the module classes
+// flip in vulnerability order A ≥ B ≥ C, with A strictly ahead of C.
+func TestClassOrdering(t *testing.T) {
+	count := func(p Profile) int {
+		m, mem := boundModel(t, p, 23)
+		fillRow(mem, testGeom(), 5, 0xA5)
+		for w := 0; w < 40; w++ {
+			m.OnWindow(victimReport(5, 300))
+		}
+		return len(m.Flips())
+	}
+	a, b, c := count(ClassA()), count(ClassB()), count(ClassC())
+	if a < b || b < c || a <= c {
+		t.Fatalf("class flip counts A=%d B=%d C=%d, want A ≥ B ≥ C and A > C", a, b, c)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"pthammer/internal/cache"
 	"pthammer/internal/dram"
+	"pthammer/internal/flip"
 	"pthammer/internal/mem"
 	"pthammer/internal/pagetable"
 	"pthammer/internal/perf"
@@ -52,6 +53,14 @@ type Config struct {
 	NoiseSeed          int64
 	NoiseProb          float64
 	NoiseMin, NoiseMax timing.Cycles
+
+	// FlipModel, when non-nil, is the disturbance-error engine: New
+	// binds it to this machine's physical memory and DRAM geometry and
+	// subscribes it to end-of-refresh-window victim reports, so rows
+	// hammered past HammerThreshold within a window can actually flip
+	// bits (read the damage back with Flips). Nil — the default — keeps
+	// memory ideal: hammering is detected but never corrupts.
+	FlipModel *flip.Model
 }
 
 // SandyBridge returns a preset modelled on the paper's Sandy
@@ -168,6 +177,15 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Bind the flip model last: Bind is one-shot, and binding before a
+	// later constructor could fail would poison the model for a retried
+	// New with a corrected config.
+	if cfg.FlipModel != nil {
+		if err := cfg.FlipModel.Bind(pmem, cfg.DRAM); err != nil {
+			return nil, err
+		}
+		d.SetWindowHook(cfg.FlipModel.OnWindow)
+	}
 	return &Machine{
 		cfg:      cfg,
 		mem:      pmem,
@@ -192,27 +210,27 @@ func MustNew(cfg Config) *Machine {
 	return m
 }
 
-// Load performs one demand load at the virtual address: translation
-// through the TLB chain (walking the page tables on a full miss), then
-// data through the cache chain at the physical address the translation
-// resolved. Under the machine's identity mapping the two coincide —
-// until a flipped page-table bit makes them diverge. The result
-// aggregates both halves — Latency is the total cycles charged
-// (including any noise spike), Hit/Source report where the data was
-// served. Panics on an out-of-range virtual address, mirroring phys,
-// and on a (corrupted) translation that resolves outside memory.
-func (m *Machine) Load(a phys.Addr) mem.Result {
+// access is the shared demand-access path: translation through the
+// TLB chain (walking the page tables on a full miss), then the data
+// access through the cache chain at the physical address the
+// translation resolved. Under the machine's identity mapping the two
+// coincide — until a flipped page-table bit makes them diverge. It
+// returns that physical address alongside the aggregate result —
+// Latency is the total cycles charged (including any noise spike),
+// Hit/Source report where the data was served. Panics on an
+// out-of-range virtual address, mirroring phys, and on a (corrupted)
+// translation that resolves outside memory.
+func (m *Machine) access(a phys.Addr, kind mem.Kind) (phys.Addr, mem.Result) {
 	if !m.mem.Contains(a) {
-		panic(fmt.Sprintf("machine: load at %#x outside %d-byte memory", uint64(a), m.mem.Size()))
+		panic(fmt.Sprintf("machine: %v at %#x outside %d-byte memory", kind, uint64(a), m.mem.Size()))
 	}
-	acc := mem.Access{Addr: a, Kind: mem.KindLoad}
-	frame, tres := m.tlb.Translate(acc)
+	frame, tres := m.tlb.Translate(mem.Access{Addr: a, Kind: kind})
 	pa := frame.Addr() + phys.Addr(phys.Offset(a))
 	if !m.mem.Contains(pa) {
 		panic(fmt.Sprintf("machine: %#x translates to %#x outside %d-byte memory (corrupted page tables?)",
 			uint64(a), uint64(pa), m.mem.Size()))
 	}
-	cres := m.caches.Lookup(mem.Access{Addr: pa, Kind: mem.KindLoad})
+	cres := m.caches.Lookup(mem.Access{Addr: pa, Kind: kind})
 	total := tres.Latency + cres.Latency
 	if m.noisy {
 		if spike := m.noise.Sample(); spike > 0 {
@@ -220,7 +238,28 @@ func (m *Machine) Load(a phys.Addr) mem.Result {
 			total += spike
 		}
 	}
-	return mem.Result{Latency: total, Hit: tres.Hit && cres.Hit, Source: cres.Source}
+	return pa, mem.Result{Latency: total, Hit: tres.Hit && cres.Hit, Source: cres.Source}
+}
+
+// Load performs one demand load at the virtual address — the shared
+// access path with nothing written back.
+func (m *Machine) Load(a phys.Addr) mem.Result {
+	_, res := m.access(a, mem.KindLoad)
+	return res
+}
+
+// Store64 performs one demand store of a little-endian 64-bit value at
+// the virtual address: the same access path as Load (write-allocate
+// through the cache chain), then the bytes written to physical memory
+// at the resolved address. It is a plain user store — no privilege
+// involved — which is exactly what makes it the escalation demo's
+// final step: once a flipped PTE maps an attacker page onto a
+// page-table frame, Store64 through that page rewrites page-table
+// entries. The address must be 8-byte aligned (phys panics otherwise).
+func (m *Machine) Store64(a phys.Addr, v uint64) mem.Result {
+	pa, res := m.access(a, mem.KindStore)
+	m.mem.Write64(pa, v)
+	return res
 }
 
 // Translate resolves the virtual address the way a load would —
@@ -356,6 +395,29 @@ func (m *Machine) Flush(a phys.Addr) timing.Cycles {
 // HammerStats reports the DRAM's per-refresh-window activation
 // bookkeeping: total ACTs and which rows are currently hammer-eligible.
 func (m *Machine) HammerStats() dram.Stats { return m.dram.HammerStats() }
+
+// ResetRefreshWindow discards the DRAM's current refresh window —
+// activation counts and victim pressure drop to zero, banks precharge,
+// and no flip-model report fires for the discarded activity. Scenario
+// construction (aggressor discovery, eviction-set building) calls it
+// so the first measured window starts from zero pressure instead of
+// inheriting construction traffic.
+func (m *Machine) ResetRefreshWindow() { m.dram.ResetWindow() }
+
+// Flips returns the disturbance errors the configured flip model has
+// produced so far, in occurrence order, or nil when the machine was
+// built without a FlipModel. The slice is the model's own record:
+// callers must not mutate it.
+func (m *Machine) Flips() []flip.Flip {
+	if m.cfg.FlipModel == nil {
+		return nil
+	}
+	return m.cfg.FlipModel.Flips()
+}
+
+// FlipModel returns the machine's disturbance-error engine, nil when
+// none was configured.
+func (m *Machine) FlipModel() *flip.Model { return m.cfg.FlipModel }
 
 // Accessors for the shared state; algorithm code reads these the way
 // the paper's tooling reads rdtsc and the PMC kernel module.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pthammer/internal/dram"
+	"pthammer/internal/flip"
 	"pthammer/internal/mem"
 	"pthammer/internal/pagetable"
 	"pthammer/internal/perf"
@@ -579,4 +580,143 @@ func TestLoadNMatchesLoad(t *testing.T) {
 	if len(buf) != 4 {
 		t.Fatalf("reused buffer length = %d, want 4", len(buf))
 	}
+}
+
+// TestFlipModelEndToEnd wires the disturbance-error engine through the
+// facade: a flush-hammer loop crossing refresh windows makes the
+// configured model corrupt cells in the sandwiched victim row — real
+// bytes change in phys.Memory — while a machine without a model keeps
+// memory ideal.
+func TestFlipModelEndToEnd(t *testing.T) {
+	cfg := hammerConfig()
+	cfg.DRAM.RefreshWindow = 5000
+	// An eager profile so a short loop flips: certain past threshold,
+	// always discharging.
+	model := flip.MustNewModel(flip.Profile{
+		Name: "eager", AttemptsPerWindow: 16, ExcessScale: 1, OneToZeroBias: 1,
+	}, 99)
+	cfg.FlipModel = model
+	m := MustNew(cfg)
+	if m.FlipModel() != model {
+		t.Fatal("FlipModel accessor does not return the configured model")
+	}
+
+	geom := m.DRAM().Config()
+	above := geom.AddrOf(dram.Location{Row: 100})
+	below := geom.AddrOf(dram.Location{Row: 102})
+	// The victim row holds attacker-readable data: fill it with ones so
+	// every discharge is observable.
+	victimStart, victimBytes := geom.RowRange(0, 0, 0, 101)
+	for off := uint64(0); off < victimBytes; off++ {
+		m.Memory().Write8(victimStart+phys.Addr(off), 0xFF)
+	}
+
+	m.Load(above)
+	m.Load(below)
+	for i := 0; i < 400 && len(m.Flips()) == 0; i++ {
+		m.Flush(above)
+		m.Flush(below)
+		m.Load(above)
+		m.Load(below)
+	}
+	flips := m.Flips()
+	if len(flips) == 0 {
+		t.Fatalf("no flips after hammering across %d windows", model.Windows())
+	}
+	for _, f := range flips {
+		if f.Addr < victimStart || f.Addr >= victimStart+phys.Addr(victimBytes) {
+			t.Fatalf("flip at %#x outside victim row [%#x, %#x)", uint64(f.Addr), uint64(victimStart), uint64(victimStart)+victimBytes)
+		}
+		if !f.OneToZero {
+			t.Fatalf("0→1 flip from an all-ones row: %+v", f)
+		}
+		if got := m.Memory().Bit(f.Addr, f.Bit); got != 0 {
+			t.Fatalf("flipped cell %#x bit %d still reads %d", uint64(f.Addr), f.Bit, got)
+		}
+	}
+
+	// The control machine, hammered identically without a model, stays
+	// pristine.
+	ctl := MustNew(hammerConfig())
+	if ctl.Flips() != nil {
+		t.Fatal("machine without FlipModel reports flips")
+	}
+}
+
+// TestNewRejectsBoundFlipModel: a model already bound to one machine
+// cannot be wired into a second.
+func TestNewRejectsBoundFlipModel(t *testing.T) {
+	cfg := hammerConfig()
+	cfg.FlipModel = flip.MustNewModel(flip.ClassA(), 1)
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("first machine: %v", err)
+	}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("second machine accepted an already-bound flip model")
+	}
+}
+
+// TestResetRefreshWindowClearsPressure: construction-style traffic is
+// discarded by an explicit reset, so measured pressure starts at zero.
+func TestResetRefreshWindowClearsPressure(t *testing.T) {
+	m := MustNew(hammerConfig())
+	geom := m.DRAM().Config()
+	above := geom.AddrOf(dram.Location{Row: 100})
+	below := geom.AddrOf(dram.Location{Row: 102})
+	m.Load(above)
+	m.Load(below)
+	for i := 0; i < 16; i++ {
+		m.Flush(above)
+		m.Flush(below)
+		m.Load(above)
+		m.Load(below)
+	}
+	if s := m.HammerStats(); s.Activations == 0 || len(s.Victims) == 0 {
+		t.Fatalf("expected construction pressure, got %+v", s)
+	}
+	m.ResetRefreshWindow()
+	if s := m.HammerStats(); s.Activations != 0 || len(s.Victims) != 0 {
+		t.Fatalf("stats after reset = %+v, want zero", s)
+	}
+}
+
+// TestStore64WritesThroughTranslation: a store translates like a load,
+// charges the clock exactly its reported latency, lands its bytes in
+// physical memory, and leaves the line cached for the next access.
+func TestStore64WritesThroughTranslation(t *testing.T) {
+	m := MustNew(SandyBridge())
+	va := phys.Addr(0x7008)
+	const v = 0xfeed_face_cafe_f00d
+
+	start := m.Clock().Now()
+	res := m.Store64(va, v)
+	if got := m.Clock().Now() - start; got != res.Latency {
+		t.Fatalf("clock advanced %d, result says %d", got, res.Latency)
+	}
+	if res.Hit || res.Source != mem.LevelDRAM {
+		t.Fatalf("cold store result = %+v, want DRAM miss", res)
+	}
+	if got := m.Memory().Read64(va); got != v {
+		t.Fatalf("stored value = %#x, want %#x", got, uint64(v))
+	}
+	// Write-allocate: the line is now cached, so a warm store hits L1
+	// with its translation in the dTLB.
+	res2 := m.Store64(va, v+1)
+	if !res2.Hit || res2.Source != mem.LevelL1 {
+		t.Fatalf("warm store result = %+v, want L1 hit", res2)
+	}
+	if got := m.Memory().Read64(va); got != v+1 {
+		t.Fatalf("second store lost: %#x", got)
+	}
+	mustPanicMachine(t, "out-of-range store", func() { m.Store64(phys.Addr(m.Memory().Size()), 1) })
+}
+
+func mustPanicMachine(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
 }

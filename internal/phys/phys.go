@@ -171,22 +171,37 @@ func (m *Memory) ZeroFrame(f Frame) {
 	m.writes += FrameSize
 }
 
-// FlipBit inverts a single bit at physical address a. It returns the new
-// value of the bit. This is the DRAM disturbance-error entry point: it is
-// the only mutation in the simulator that does not originate from a CPU
-// store.
-func (m *Memory) FlipBit(a Addr, bit uint) byte {
+// FlipBit inverts a single bit at physical address a. It returns the
+// new value of the bit and whether the flip was applied. This is the
+// DRAM disturbance-error entry point: it is the only mutation in the
+// simulator that does not originate from a CPU store.
+//
+// Hole semantics: a never-written frame has no simulated content, so a
+// flip aimed into one is a no-op reporting ok=false — the frame is not
+// materialized and no write is counted. This mirrors Bit, which reads
+// the same hole as 0 without materializing, and keeps a flip model
+// walking a sparse victim row from inflating Materialized and
+// WriteCount with frames the simulation never defined. Flips only ever
+// land in frames the simulation has written (page tables, filled
+// victim pages), exactly the cells whose content a real disturbance
+// error corrupts.
+func (m *Memory) FlipBit(a Addr, bit uint) (byte, bool) {
 	if bit > 7 {
 		panic(fmt.Sprintf("phys: bit index %d out of range", bit))
 	}
-	fr := m.frame(FrameOf(a))
+	fr := m.peek(FrameOf(a))
+	if fr == nil {
+		return 0, false
+	}
 	off := Offset(a)
 	fr[off] ^= 1 << bit
 	m.writes++
-	return (fr[off] >> bit) & 1
+	return (fr[off] >> bit) & 1, true
 }
 
-// Bit returns the current value (0 or 1) of the given bit.
+// Bit returns the current value (0 or 1) of the given bit. Reading a
+// never-written frame reports 0 without materializing it — the same
+// hole semantics FlipBit applies on the mutation side.
 func (m *Memory) Bit(a Addr, bit uint) byte {
 	if bit > 7 {
 		panic(fmt.Sprintf("phys: bit index %d out of range", bit))

@@ -49,17 +49,47 @@ func TestFlipBitRoundTrip(t *testing.T) {
 	if got := m.Bit(a, 3); got != 1 {
 		t.Fatalf("Bit(3) = %d, want 1", got)
 	}
-	if got := m.FlipBit(a, 3); got != 0 {
-		t.Fatalf("FlipBit returned %d, want 0", got)
+	if got, ok := m.FlipBit(a, 3); got != 0 || !ok {
+		t.Fatalf("FlipBit returned (%d, %v), want (0, true)", got, ok)
 	}
 	if got := m.Read8(a); got != 0 {
 		t.Fatalf("byte after flip = %#x, want 0", got)
 	}
-	if got := m.FlipBit(a, 3); got != 1 {
-		t.Fatalf("second FlipBit returned %d, want 1", got)
+	if got, ok := m.FlipBit(a, 3); got != 1 || !ok {
+		t.Fatalf("second FlipBit returned (%d, %v), want (1, true)", got, ok)
 	}
 	if got := m.Read8(a); got != 0b0000_1000 {
 		t.Fatalf("byte after double flip = %#x, want original", got)
+	}
+}
+
+// TestFlipBitHoleIsNoOp pins the hole semantics: a flip aimed at a
+// never-written frame reports a miss and leaves the memory untouched —
+// no materialization, no write counted — matching Bit's read-side view
+// of the same hole.
+func TestFlipBitHoleIsNoOp(t *testing.T) {
+	m := MustNew(4 * FrameSize)
+	a := Addr(2*FrameSize + 17)
+	if got, ok := m.FlipBit(a, 6); got != 0 || ok {
+		t.Fatalf("hole FlipBit returned (%d, %v), want (0, false)", got, ok)
+	}
+	if got := m.Materialized(); got != 0 {
+		t.Fatalf("hole FlipBit materialized %d frames, want 0", got)
+	}
+	if got := m.WriteCount(); got != 0 {
+		t.Fatalf("hole FlipBit counted %d writes, want 0", got)
+	}
+	if got := m.Bit(a, 6); got != 0 {
+		t.Fatalf("Bit after hole flip = %d, want 0", got)
+	}
+	// Once the frame is materialized by a real store, the same flip
+	// applies normally.
+	m.Write8(a, 0)
+	if got, ok := m.FlipBit(a, 6); got != 1 || !ok {
+		t.Fatalf("materialized FlipBit returned (%d, %v), want (1, true)", got, ok)
+	}
+	if got := m.Bit(a, 6); got != 1 {
+		t.Fatalf("Bit after materialized flip = %d, want 1", got)
 	}
 }
 

@@ -160,7 +160,15 @@ func (h *Histogram) Quantile(q float64) timing.Cycles {
 
 // Quantiles answers several quantile queries with a single bin sort —
 // the summary-table path asks for min/p25/p50/p90/max per histogram
-// and should not pay five sorts for it.
+// and should not pay five sorts for it. Each query's sample rank
+// ⌈q·Total⌉ is clamped to [1, Total], so out-of-range q degrade
+// gracefully rather than panic or read past the distribution: any
+// q ≤ 0 — and NaN — reports the minimum exactly like q=0, and any
+// q ≥ 1 reports the maximum exactly like q=1. The clamp happens in
+// float space, before any float→integer conversion, because Go leaves
+// out-of-range conversions implementation-defined. An empty histogram
+// reports 0 for every query. The flip-latency tables depend on this
+// contract at the q=0/q=1 edges.
 func (h *Histogram) Quantiles(qs ...float64) []timing.Cycles {
 	out := make([]timing.Cycles, len(qs))
 	if h.total == 0 {
@@ -168,12 +176,20 @@ func (h *Histogram) Quantiles(qs ...float64) []timing.Cycles {
 	}
 	bins := h.Bins()
 	for i, q := range qs {
-		rank := uint64(math.Ceil(q * float64(h.total)))
-		if rank < 1 {
+		var rank uint64
+		switch {
+		case math.IsNaN(q) || q <= 0:
 			rank = 1
-		}
-		if rank > h.total {
+		case q >= 1:
 			rank = h.total
+		default:
+			rank = uint64(math.Ceil(q * float64(h.total)))
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > h.total {
+				rank = h.total
+			}
 		}
 		var seen uint64
 		for _, b := range bins {

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"math"
 	"runtime"
 	"testing"
 
@@ -262,6 +263,58 @@ func TestHistogramQuantileAndMean(t *testing.T) {
 	}
 	if got := h.Mean(); got != 29 {
 		t.Errorf("Mean = %v, want 29", got)
+	}
+}
+
+// TestQuantilesEdgeCases pins the documented clamping contract before
+// the flip-latency tables start depending on it: q=0 is exactly the
+// minimum and q=1 exactly the maximum, an empty histogram reports 0
+// for every query, and out-of-range q (negative, past one, NaN, the
+// infinities) clamp to the corresponding edge instead of panicking or
+// hitting Go's implementation-defined float→integer conversion.
+func TestQuantilesEdgeCases(t *testing.T) {
+	empty := NewHistogram()
+	for _, got := range empty.Quantiles(-1, 0, 0.5, 1, 2, math.NaN()) {
+		if got != 0 {
+			t.Fatalf("empty histogram quantile = %d, want 0", got)
+		}
+	}
+
+	h := NewHistogram()
+	for _, c := range []timing.Cycles{40, 7, 300, 7, 90} {
+		h.Add(c)
+	}
+	const min, max = timing.Cycles(7), timing.Cycles(300)
+	// The documented min/max contract at the exact edges.
+	if got := h.Quantile(0); got != min {
+		t.Errorf("Quantile(0) = %d, want the minimum %d", got, min)
+	}
+	if got := h.Quantile(1); got != max {
+		t.Errorf("Quantile(1) = %d, want the maximum %d", got, max)
+	}
+	// Out-of-range queries clamp to the same edges.
+	for _, q := range []float64{-0.01, -5, math.Inf(-1), math.NaN()} {
+		if got := h.Quantile(q); got != min {
+			t.Errorf("Quantile(%v) = %d, want clamped minimum %d", q, got, min)
+		}
+	}
+	for _, q := range []float64{1.01, 17, math.Inf(1)} {
+		if got := h.Quantile(q); got != max {
+			t.Errorf("Quantile(%v) = %d, want clamped maximum %d", q, got, max)
+		}
+	}
+	// A single batched call agrees with the per-query path.
+	got := h.Quantiles(-1, 0, 1, 2)
+	want := []timing.Cycles{min, min, max, max}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Quantiles[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// A vanishingly small positive q still means "at least one sample":
+	// the rank-1 clamp, not a zero rank.
+	if got := h.Quantile(1e-12); got != min {
+		t.Errorf("Quantile(1e-12) = %d, want %d", got, min)
 	}
 }
 
