@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFlagsHandshake(t *testing.T) {
+	// go vet's first probe is `tool -flags`; it must exit 0 (the JSON
+	// flag list goes to stdout, checked end to end by the CI vettool
+	// run).
+	if code := run([]string{"-flags"}); code != 0 {
+		t.Fatalf("-flags exited %d", code)
+	}
+}
+
+func TestVersionHandshake(t *testing.T) {
+	// go vet probes with -V=full and keys its cache on the output; the
+	// handshake must succeed from any binary (here: the test binary).
+	if code := run([]string{"-V=full"}); code != 0 {
+		t.Fatalf("-V=full exited %d", code)
+	}
+	if code := run([]string{"-V=short"}); code != 0 {
+		t.Fatalf("-V=short exited %d", code)
+	}
+}
+
+func TestStandaloneCleanPackage(t *testing.T) {
+	// The lint suite's own module must stay clean; internal/perf is a
+	// small leaf with noalloc annotations, so this exercises the full
+	// standalone pipeline against real code.
+	if code := run([]string{"-C", "../..", "./internal/perf"}); code != 0 {
+		t.Fatal("internal/perf reported findings; the tree should be lint-clean")
+	}
+}
+
+func TestStandaloneFindings(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "cmd", "tool"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"go.mod": "module tmp.test/m\n\ngo 1.24\n",
+		filepath.Join("cmd", "tool", "main.go"): `package main
+
+import "time"
+
+func main() { _ = time.Now() }
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if code := run([]string{"-C", dir, "./..."}); code != 1 {
+		t.Fatalf("module with a finding exited %d, want 1", code)
+	}
+	if code := run([]string{"-C", dir, "./no/such/pkg"}); code != 1 {
+		t.Fatalf("driver error exited %d, want 1", code)
+	}
+}
+
+func TestCfgArgumentDispatchesToUnitcheck(t *testing.T) {
+	dir := t.TempDir()
+	unit := filepath.Join(dir, "unit.go")
+	if err := os.WriteFile(unit, []byte("package main\n\nfunc main() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := map[string]any{
+		"ID":         "tool",
+		"Compiler":   "gc",
+		"Dir":        dir,
+		"ImportPath": "tmp.test/m/cmd/tool",
+		"GoFiles":    []string{unit},
+		"VetxOutput": filepath.Join(dir, "unit.vetx"),
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "unit.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{cfgPath}); code != 0 {
+		t.Fatalf("clean unit exited %d, want 0", code)
+	}
+	if _, err := os.Stat(cfg["VetxOutput"].(string)); err != nil {
+		t.Fatalf("unit mode did not write the vetx file: %v", err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package analyzertest is a self-contained equivalent of
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over
+// GOPATH-style fixture packages under testdata/src/<pkg>/ and checks the
+// diagnostics against `// want "regexp"` comments in the fixtures. A
+// diagnostic must match a want on its file and line; unmatched
+// diagnostics and unsatisfied wants both fail the test.
+//
+// Fixture packages may import each other (by the paths under
+// testdata/src, resolved recursively) and the standard library (resolved
+// by the source importer, so no compiled export data is needed). When an
+// analyzer exports facts, list its dependency fixtures before their
+// importers in the Run call: packages run in the given order and facts
+// accumulate across them.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"pthammer/internal/analysis/framework"
+
+	"encoding/json"
+)
+
+// stdImporter lazily builds one shared source-based importer for the
+// standard library; importing (and type-checking) fmt from source is
+// expensive, so every harness run shares the cache.
+var (
+	stdOnce     sync.Once
+	stdMu       sync.Mutex
+	stdImporter types.Importer
+)
+
+func stdImport(path string) (*types.Package, error) {
+	stdOnce.Do(func() {
+		stdImporter = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	})
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	return stdImporter.Import(path)
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type harness struct {
+	fset   *token.FileSet
+	root   string // testdata/src
+	loaded map[string]*loadedPkg
+}
+
+// Import resolves fixture-local packages first, then the standard
+// library, satisfying types.Importer for the fixtures' type-check.
+func (h *harness) Import(path string) (*types.Package, error) {
+	if lp, err := h.load(path); lp != nil || err != nil {
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return stdImport(path)
+}
+
+// load parses and type-checks the fixture package at root/path, or
+// returns (nil, nil) when no such fixture directory exists.
+func (h *harness) load(path string) (*loadedPkg, error) {
+	if lp, ok := h.loaded[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(h.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return nil, nil
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("analyzertest: fixture %s has no Go files", path)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(h.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analyzertest: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: h}
+	pkg, err := conf.Check(path, h.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyzertest: type-checking %s: %v", path, err)
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	h.loaded[path] = lp
+	return lp, nil
+}
+
+// expectation is one `// want "re"` assertion.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// wantsIn extracts the expectations from a file's comments.
+func wantsIn(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(body, "want ") {
+				continue
+			}
+			body = strings.TrimSpace(strings.TrimPrefix(body, "want"))
+			pos := fset.Position(c.Pos())
+			for body != "" {
+				q, err := strconv.QuotedPrefix(body)
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want pattern %q", pos.Filename, pos.Line, q)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				body = strings.TrimSpace(body[len(q):])
+			}
+		}
+	}
+	return out
+}
+
+// Run applies the analyzer to each fixture package in order, threading
+// facts between them, and checks diagnostics against want comments.
+func Run(t *testing.T, a *framework.Analyzer, testdataDir string, pkgs ...string) {
+	t.Helper()
+	h := &harness{
+		fset:   token.NewFileSet(),
+		root:   filepath.Join(testdataDir, "src"),
+		loaded: make(map[string]*loadedPkg),
+	}
+	facts := make(map[string]json.RawMessage)
+
+	type diag struct {
+		pos token.Position
+		msg string
+	}
+	var diags []diag
+	var wants []*expectation
+
+	for _, path := range pkgs {
+		lp, err := h.load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lp == nil {
+			t.Fatalf("analyzertest: no fixture package %q under %s", path, h.root)
+		}
+		for _, f := range lp.files {
+			wants = append(wants, wantsIn(t, h.fset, f)...)
+		}
+		path := path
+		pass := framework.NewPass(a, h.fset, lp.files, lp.pkg, lp.info,
+			func(d framework.Diagnostic) {
+				diags = append(diags, diag{pos: h.fset.Position(d.Pos), msg: d.Message})
+			},
+			func(depPath string) (json.RawMessage, bool) {
+				raw, ok := facts[depPath]
+				return raw, ok
+			},
+			func(raw json.RawMessage) { facts[path] = raw })
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analyzertest: %s on %s: %v", a.Name, path, err)
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.pos.Filename && w.line == d.pos.Line && w.re.MatchString(d.msg) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.pos.Filename, d.pos.Line, d.msg)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package analyzertest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pthammer/internal/analysis/framework"
+)
+
+// selfAnalyzer exercises every harness feature from the analyzer side:
+// diagnostics (including two on one line, matching a two-pattern want),
+// fact export, and fact import across fixture packages.
+var selfAnalyzer = &framework.Analyzer{
+	Name: "selftest",
+	Doc:  "harness self-test",
+	Run: func(pass *framework.Pass) error {
+		type fact struct{ Flagged int }
+		n := 0
+		for _, f := range pass.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				var df fact
+				if pass.ImportFact(path, &df) {
+					for _, d := range f.Decls {
+						if fd, ok := d.(*ast.FuncDecl); ok {
+							pass.Reportf(fd.Pos(), "fact from %s: %d flagged", path, df.Flagged)
+							break
+						}
+					}
+				}
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || !strings.HasPrefix(fd.Name.Name, "Flagged") {
+					continue
+				}
+				n++
+				pass.Reportf(fd.Pos(), "flagged function %s", fd.Name.Name)
+				if fd.Name.Name == "FlaggedTwo" {
+					pass.Reportf(fd.Pos(), "second pattern on one line")
+				}
+			}
+		}
+		return pass.ExportFact(fact{Flagged: n})
+	},
+}
+
+// TestHarnessSelfTest runs the fixture pair end to end: every want in
+// testdata/src/self must be matched and nothing extra reported, or Run
+// fails this test for real.
+func TestHarnessSelfTest(t *testing.T) {
+	Run(t, selfAnalyzer, "testdata", "self/a", "self/b")
+}
+
+func TestLoadMissingFixtureIsNil(t *testing.T) {
+	h := &harness{
+		fset:   token.NewFileSet(),
+		root:   filepath.Join("testdata", "src"),
+		loaded: make(map[string]*loadedPkg),
+	}
+	lp, err := h.load("no/such/fixture")
+	if lp != nil || err != nil {
+		t.Fatalf("load of absent fixture = %v, %v; want nil, nil", lp, err)
+	}
+}
+
+func TestWantsInParsesQuotingStyles(t *testing.T) {
+	fset := token.NewFileSet()
+	src := "package p\n" +
+		"var a = 1 // want \"plain\"\n" +
+		"var b = 2 // want `backquoted \\d+` \"and a second\"\n" +
+		"var c = 3 // unrelated comment\n"
+	f, err := parser.ParseFile(fset, "w.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := wantsIn(t, fset, f)
+	if len(wants) != 3 {
+		t.Fatalf("parsed %d wants, want 3", len(wants))
+	}
+	if wants[0].line != 2 || !wants[0].re.MatchString("plain") {
+		t.Errorf("first want = %+v", wants[0])
+	}
+	if wants[1].line != 3 || !wants[1].re.MatchString("backquoted 42") {
+		t.Errorf("second want = %+v", wants[1])
+	}
+	if wants[2].line != 3 || !wants[2].re.MatchString("and a second") {
+		t.Errorf("third want = %+v", wants[2])
+	}
+}

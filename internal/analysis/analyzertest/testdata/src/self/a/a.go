@@ -1,0 +1,8 @@
+// Package a is the harness self-test dependency fixture.
+package a
+
+func FlaggedOne() {} // want "flagged function FlaggedOne"
+
+func Clean() {}
+
+func FlaggedTwo() {} // want `flagged function FlaggedTwo` `second pattern on one line`

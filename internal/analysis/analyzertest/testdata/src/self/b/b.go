@@ -1,0 +1,14 @@
+// Package b imports a fixture sibling and the standard library, so the
+// self-test covers both importer paths and cross-package fact flow.
+package b
+
+import (
+	"strings"
+
+	"self/a"
+)
+
+func Use() string { // want "fact from self/a: 2 flagged"
+	a.Clean()
+	return strings.ToUpper("x")
+}

@@ -1,0 +1,16 @@
+package clockcharge_test
+
+import (
+	"testing"
+
+	"pthammer/internal/analysis/analyzertest"
+	"pthammer/internal/analysis/clockcharge"
+)
+
+func TestClockCharge(t *testing.T) {
+	analyzertest.Run(t, clockcharge.Analyzer, "testdata",
+		"lint.test/internal/timing",
+		"lint.test/internal/mem",
+		"lint.test/dev",
+	)
+}

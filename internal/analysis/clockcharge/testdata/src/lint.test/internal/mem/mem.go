@@ -1,0 +1,29 @@
+// Package mem is a stub of the real internal/mem contract types.
+package mem
+
+import "lint.test/internal/timing"
+
+// Kind distinguishes access kinds.
+type Kind int
+
+// Access is one memory access.
+type Access struct {
+	Addr uint64
+	Kind Kind
+}
+
+// Result is what a device reports for one access.
+type Result struct {
+	Latency timing.Cycles
+	Hit     bool
+}
+
+// Device serves accesses.
+type Device interface {
+	Lookup(Access) Result
+}
+
+// Translator resolves accesses to frames.
+type Translator interface {
+	Translate(Access) (uint64, Result)
+}

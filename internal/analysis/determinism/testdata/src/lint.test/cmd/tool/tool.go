@@ -1,0 +1,80 @@
+// Package main is a determinism fixture: cmd/ packages are under the
+// per-seed reproducibility contract.
+package main
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `call to time\.Now in deterministic package`
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want `call to time\.Since in deterministic package`
+}
+
+func globalRand() int {
+	return rand.Int() // want `call to global rand\.Int in deterministic package`
+}
+
+func seeded(seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Int63()
+}
+
+func unsorted(m map[int]int) int {
+	sum := 0
+	for k, v := range m { // want `range over map in deterministic package`
+		sum += k * v
+	}
+	return sum
+}
+
+func annotated(m map[int]int) int {
+	sum := 0
+	//pthammer:nondeterministic-ok
+	for k, v := range m {
+		sum += k * v
+	}
+	return sum
+}
+
+func gathered(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// gatheredNoSort collects into a slice but never orders it, so the map
+// order leaks into the result.
+func gatheredNoSort(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // want `range over map in deterministic package`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// closureScope checks that the gather idiom requires the sort in the
+// same function as the loop: the literal's loop has no sort inside it.
+func closureScope(m map[int]int) []int {
+	var keys []int
+	collect := func() {
+		for k := range m { // want `range over map in deterministic package`
+			keys = append(keys, k)
+		}
+	}
+	collect()
+	sort.Ints(keys)
+	return keys
+}
+
+func main() {
+	_ = unsorted(map[int]int{1: 1})
+}

@@ -1,0 +1,12 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files are exempt: fixtures and timing helpers may use the wall
+// clock freely.
+func TestWallClockAllowed(t *testing.T) {
+	_ = time.Now()
+}

@@ -1,0 +1,41 @@
+// Package sweep is a determinism fixture for the internal/sweep path
+// suffix: the shape of the real Histogram bug this analyzer exists to
+// catch (float accumulation over map order).
+package sweep
+
+import "sort"
+
+type histogram struct {
+	counts map[uint64]uint64
+}
+
+// mean sums floats in map order: flagged, because float addition is not
+// associative and the iteration order varies per run.
+func (h *histogram) mean() float64 {
+	var sum, n float64
+	for c, k := range h.counts { // want `range over map in deterministic package`
+		sum += float64(c) * float64(k)
+		n += float64(k)
+	}
+	return sum / n
+}
+
+// bins gathers into a slice and sorts it before use: the canonical
+// deterministic way to iterate a map.
+func (h *histogram) bins() []uint64 {
+	var out []uint64
+	for c := range h.counts {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// merge is order-independent (integer += per distinct key), so the
+// exemption annotation applies.
+func (h *histogram) merge(src map[uint64]uint64) {
+	//pthammer:nondeterministic-ok
+	for c, k := range src {
+		h.counts[c] += k
+	}
+}

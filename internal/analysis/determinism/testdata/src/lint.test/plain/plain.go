@@ -1,0 +1,14 @@
+// Package plain is outside the determinism contract: nothing here is
+// flagged.
+package plain
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Sum(m map[int]int) (sum int) {
+	for _, v := range m {
+		sum += v
+	}
+	return
+}

@@ -1,0 +1,195 @@
+// Package driver loads and type-checks the module's packages without any
+// dependency beyond the go toolchain itself, then runs pthammer-lint's
+// analyzers over them. It shells out to `go list -json -export -deps`,
+// which both enumerates the import closure and (via -export) materializes
+// compiled export data in the build cache, so dependencies are imported
+// through the gc importer instead of being re-typechecked from source.
+// Module packages are then checked in dependency order so analyzer facts
+// (e.g. noalloc's annotated-function sets) flow from a package to its
+// importers.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"pthammer/internal/analysis/framework"
+)
+
+// ListedPackage is the subset of `go list -json` output the driver needs.
+type ListedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+}
+
+// List runs `go list -json -export -deps patterns...` in dir and decodes
+// the JSON stream.
+func List(dir string, patterns ...string) ([]*ListedPackage, error) {
+	args := append([]string{"list", "-json", "-export", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*ListedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Diagnostic pairs a finding with its resolved position.
+type Diagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// Run analyzes every non-standard package matched by patterns (plus their
+// module-internal deps) with the given analyzers, returning diagnostics
+// sorted by position.
+func Run(dir string, analyzers []*framework.Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := List(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*ListedPackage, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		p, ok := byPath[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("driver: no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	})
+
+	// facts[pkgPath][analyzerName] holds exported facts; packages are
+	// visited in dependency order so a package's facts exist before any
+	// importer asks for them.
+	facts := make(map[string]map[string]json.RawMessage)
+
+	type entry struct {
+		diag framework.Diagnostic
+		name string
+	}
+	var entries []entry
+
+	visited := make(map[string]bool)
+	var visit func(p *ListedPackage) error
+	visit = func(p *ListedPackage) error {
+		if visited[p.ImportPath] || p.Standard {
+			return nil
+		}
+		visited[p.ImportPath] = true
+		for _, dep := range p.Imports {
+			if d, ok := byPath[dep]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		if len(p.GoFiles) == 0 {
+			return nil
+		}
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return fmt.Errorf("driver: parsing %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return fmt.Errorf("driver: type-checking %s: %v", p.ImportPath, err)
+		}
+		for _, a := range analyzers {
+			a := a
+			pass := framework.NewPass(a, fset, files, tpkg, info,
+				func(d framework.Diagnostic) {
+					entries = append(entries, entry{diag: d, name: a.Name})
+				},
+				func(depPath string) (json.RawMessage, bool) {
+					m, ok := facts[depPath]
+					if !ok {
+						return nil, false
+					}
+					raw, ok := m[a.Name]
+					return raw, ok
+				},
+				func(raw json.RawMessage) {
+					m := facts[p.ImportPath]
+					if m == nil {
+						m = make(map[string]json.RawMessage)
+						facts[p.ImportPath] = m
+					}
+					m[a.Name] = raw
+				})
+			if err := a.Run(pass); err != nil {
+				return fmt.Errorf("driver: %s on %s: %v", a.Name, p.ImportPath, err)
+			}
+		}
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]Diagnostic, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, Diagnostic{
+			Position: fset.Position(e.diag.Pos),
+			Analyzer: e.name,
+			Message:  e.diag.Message,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := out[i].Position, out[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out, nil
+}

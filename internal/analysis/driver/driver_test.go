@@ -1,0 +1,164 @@
+package driver
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pthammer/internal/analysis/determinism"
+	"pthammer/internal/analysis/framework"
+	"pthammer/internal/analysis/noalloc"
+)
+
+// writeModule materializes a throwaway module on disk so the driver's
+// real loading path — go list -export, gc importer, dependency-order
+// fact flow — runs end to end without touching the pthammer module.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunFindsAndOrdersDiagnostics(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmp.test/m\n\ngo 1.24\n",
+		// cmd/ prefix puts the package in determinism's deterministic set.
+		"cmd/tool/main.go": `package main
+
+import "time"
+
+func main() {
+	_ = time.Now() // finding 1
+	m := map[int]int{1: 1}
+	for k := range m { // finding 2
+		_ = k
+	}
+}
+`,
+		"internal/ok/ok.go": `// Package ok is outside the deterministic set.
+package ok
+
+import "time"
+
+func Now() time.Time { return time.Now() }
+`,
+	})
+
+	diags, err := Run(dir, []*framework.Analyzer{determinism.Analyzer}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	// Sorted by position within the file.
+	if !strings.Contains(diags[0].Message, "time.Now") {
+		t.Errorf("first diagnostic = %+v, want the time.Now finding", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, "map") {
+		t.Errorf("second diagnostic = %+v, want the map-range finding", diags[1])
+	}
+	for _, d := range diags {
+		if d.Analyzer != "determinism" {
+			t.Errorf("diagnostic attributed to %q, want determinism", d.Analyzer)
+		}
+		if !strings.HasSuffix(d.Position.Filename, filepath.Join("cmd", "tool", "main.go")) {
+			t.Errorf("diagnostic in %s, want cmd/tool/main.go only", d.Position.Filename)
+		}
+	}
+}
+
+func TestRunFlowsFactsAcrossPackages(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmp.test/m\n\ngo 1.24\n",
+		"dep/dep.go": `package dep
+
+// Step is annotated: callers may use it.
+//
+//pthammer:noalloc
+func Step(n int) int { return n + 1 }
+
+// Grow is not.
+func Grow(n int) []int { return make([]int, n) }
+`,
+		"hot/hot.go": `package hot
+
+import "tmp.test/m/dep"
+
+// Good calls only annotated callees across the package boundary.
+//
+//pthammer:noalloc
+func Good(n int) int { return dep.Step(n) }
+
+// Bad calls an unannotated one.
+//
+//pthammer:noalloc
+func Bad(n int) int { return len(dep.Grow(n)) }
+`,
+	})
+
+	diags, err := Run(dir, []*framework.Analyzer{noalloc.Analyzer}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the dep.Grow call: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "dep.Grow") {
+		t.Fatalf("diagnostic = %+v, want the dep.Grow finding", diags[0])
+	}
+}
+
+func TestRunReportsLoadErrors(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmp.test/m\n\ngo 1.24\n",
+	})
+	if _, err := Run(dir, nil, "./does/not/exist"); err == nil {
+		t.Fatal("unknown pattern did not error")
+	}
+
+	bad := writeModule(t, map[string]string{
+		"go.mod":   "module tmp.test/bad\n\ngo 1.24\n",
+		"p/bad.go": "package p\n\nfunc f() { undeclared() }\n",
+	})
+	if _, err := Run(bad, nil, "./..."); err == nil {
+		t.Fatal("package that fails to compile did not error")
+	}
+}
+
+func TestListEnumeratesDeps(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":   "module tmp.test/m\n\ngo 1.24\n",
+		"p/p.go":   "package p\n\nimport \"tmp.test/m/q\"\n\nvar _ = q.V\n",
+		"q/q.go":   "package q\n\nvar V = 1\n",
+		"q/doc.go": "// Package q has two files.\npackage q\n",
+	})
+	pkgs, err := List(dir, "./p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := make(map[string]*ListedPackage)
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	q, ok := byPath["tmp.test/m/q"]
+	if !ok {
+		t.Fatalf("-deps did not surface the dependency; got %d packages", len(pkgs))
+	}
+	if len(q.GoFiles) != 2 || q.Standard {
+		t.Fatalf("dependency listing = %+v", q)
+	}
+	if _, ok := byPath["tmp.test/m/p"]; !ok {
+		t.Fatal("pattern package missing from listing")
+	}
+}

@@ -1,0 +1,106 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AnnotationPrefix introduces every pthammer lint annotation. The full
+// forms are documented in CONTRIBUTING.md:
+//
+//	//pthammer:noalloc                 (function doc comment)
+//	//pthammer:alloc-ok <why>          (line-level noalloc exemption)
+//	//pthammer:nondeterministic-ok     (line-level determinism exemption)
+//	//pthammer:privileged-ok <why>     (line-level privilegedops exemption)
+//	//pthammer:nocharge-ok <why>       (line-level clockcharge exemption)
+const AnnotationPrefix = "pthammer:"
+
+// Annotations indexes //pthammer:* line annotations across a package's
+// files so analyzers can ask "is this site exempted" in O(1).
+type Annotations struct {
+	fset *token.FileSet
+	// lines maps annotation name -> "file:line" sites carrying it.
+	lines map[string]map[lineKey]bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// annotationName extracts the name from one comment ("//pthammer:alloc-ok
+// grow path" -> "alloc-ok"), or "" if the comment is not an annotation.
+func annotationName(text string) string {
+	body := strings.TrimPrefix(text, "//")
+	if !strings.HasPrefix(body, AnnotationPrefix) {
+		return ""
+	}
+	body = strings.TrimPrefix(body, AnnotationPrefix)
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		body = body[:i]
+	}
+	return body
+}
+
+// CollectAnnotations scans every comment in files and indexes the
+// pthammer annotations by file and line.
+func CollectAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{fset: fset, lines: make(map[string]map[lineKey]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name := annotationName(c.Text)
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := a.lines[name]
+				if m == nil {
+					m = make(map[lineKey]bool)
+					a.lines[name] = m
+				}
+				m[lineKey{pos.Filename, pos.Line}] = true
+			}
+		}
+	}
+	return a
+}
+
+// At reports whether the named annotation appears on the same line as pos
+// or on the line directly above it (the two idiomatic placements: trailing
+// comment, or a full-line comment above the flagged statement).
+func (a *Annotations) At(name string, pos token.Pos) bool {
+	m := a.lines[name]
+	if m == nil {
+		return false
+	}
+	p := a.fset.Position(pos)
+	return m[lineKey{p.Filename, p.Line}] || m[lineKey{p.Filename, p.Line - 1}]
+}
+
+// FuncAnnotated reports whether the function declaration's doc comment
+// carries the named annotation (e.g. //pthammer:noalloc).
+func FuncAnnotated(name string, decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if annotationName(c.Text) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether the file's name ends in _test.go.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// PathMatches reports whether the import path is the given suffix or ends
+// in "/"+suffix — the matching rule every pthammer analyzer uses so the
+// checks work identically on the real module and on testdata stubs.
+func PathMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,110 @@
+// Package hot is the noalloc fixture: annotated functions trip every
+// rule, exemptions and allowlists are exercised, unannotated functions
+// are ignored.
+package hot
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"lint.test/hotdep"
+)
+
+// sampler is a dynamic dependency the analyzer cannot see through.
+type sampler interface {
+	Sample() int
+}
+
+// stamp implements fmt.Stringer for the boxing case.
+type stamp struct{ n int }
+
+func (s stamp) String() string { return "stamp" }
+
+// Probe is the fixture hot-path state.
+type Probe struct {
+	buf     []int
+	table   map[int]int
+	dev     sampler
+	counter *hotdep.Counter
+	name    string
+}
+
+// Clean is fully allocation-free: bit arithmetic, annotated callees in
+// both this package and the imported one.
+//
+//pthammer:noalloc
+func (p *Probe) Clean(x int) int {
+	p.counter.Inc()
+	return hotdep.Step(bits.OnesCount(uint(x))) + p.local(x)
+}
+
+// local is an annotated same-package callee.
+//
+//pthammer:noalloc
+func (p *Probe) local(x int) int { return x &^ 1 }
+
+// Sample draws from a seeded generator: rand methods are allowlisted.
+//
+//pthammer:noalloc
+func Sample(rng *rand.Rand) float64 { return rng.Float64() }
+
+// Guard panics on bad input: the panic argument subtree (including its
+// fmt call and string concatenation) is exempt.
+//
+//pthammer:noalloc
+func (p *Probe) Guard(x int) int {
+	if x < 0 {
+		panic(fmt.Sprintf("hot: bad input %d", x))
+	}
+	return x
+}
+
+// Reserve carries reviewed line exemptions for its amortized growth.
+//
+//pthammer:noalloc
+func (p *Probe) Reserve(x int) {
+	p.buf = append(p.buf, x) //pthammer:alloc-ok amortized growth, fixture
+}
+
+// Dirty trips one rule per line.
+//
+//pthammer:noalloc
+func (p *Probe) Dirty(x int) int {
+	b := make([]int, x)                // want `make allocates in noalloc function Probe\.Dirty`
+	b = append(b, x)                   // want `append may grow its backing array in noalloc function Probe\.Dirty`
+	p.table[x] = x                     // want `map write in noalloc function Probe\.Dirty`
+	s := p.name + "!"                  // want `string concatenation allocates in noalloc function Probe\.Dirty`
+	fmt.Println(s)                     // want `fmt\.Println allocates in noalloc function Probe\.Dirty` `argument boxes a concrete value into an interface parameter`
+	_ = hotdep.Grow(x)                 // want `call to hotdep\.Grow from noalloc function Probe\.Dirty: callee is not annotated`
+	n := p.dev.Sample()                // want `interface method call sampler\.Sample in noalloc function Probe\.Dirty`
+	f := func() int { return x }       // want `function literal captures "x": closure allocation in noalloc function Probe\.Dirty`
+	var str fmt.Stringer = stamp{n: x} // want `declaration boxes a concrete value into an interface in noalloc function Probe\.Dirty`
+	_ = str
+	y := f() // want `dynamic call in noalloc function Probe\.Dirty`
+	return len(b) + n + y
+}
+
+// boxReturn boxes at the return site.
+//
+//pthammer:noalloc
+func boxReturn(x int) fmt.Stringer {
+	return stamp{n: x} // want `return boxes a concrete value into an interface in noalloc function boxReturn`
+}
+
+// boxPointer returns a pointer through the interface: pointers fit the
+// interface word, no allocation at the conversion.
+//
+//pthammer:noalloc
+func boxPointer(s *stamp) fmt.Stringer {
+	return s
+}
+
+// Unchecked has no annotation: nothing here is flagged.
+func Unchecked(x int) []int {
+	out := make([]int, 0, x)
+	for i := 0; i < x; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// Package hotdep is the dependency fixture for noalloc's cross-package
+// fact flow: hot imports it and may only call its annotated functions.
+package hotdep
+
+// Step is allocation-free and annotated, so callers may use it.
+//
+//pthammer:noalloc
+func Step(n int) int { return n + 1 }
+
+// Grow is deliberately unannotated: calling it from a noalloc function
+// is flagged.
+func Grow(n int) []int { return make([]int, n) }
+
+// Counter is a stub device with one annotated method.
+type Counter struct{ n uint64 }
+
+// Inc is annotated so hot paths can bump it.
+//
+//pthammer:noalloc
+func (c *Counter) Inc() { c.n++ }

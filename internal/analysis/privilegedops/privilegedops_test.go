@@ -1,0 +1,16 @@
+package privilegedops_test
+
+import (
+	"testing"
+
+	"pthammer/internal/analysis/analyzertest"
+	"pthammer/internal/analysis/privilegedops"
+)
+
+func TestPrivilegedOps(t *testing.T) {
+	analyzertest.Run(t, privilegedops.Analyzer, "testdata",
+		"lint.test/internal/machine",
+		"lint.test/internal/bench",
+		"lint.test/attack",
+	)
+}

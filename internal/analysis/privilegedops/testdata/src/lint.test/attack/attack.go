@@ -1,0 +1,20 @@
+// Package attack is not on the allowlist at all: every privileged call
+// is flagged.
+package attack
+
+import "lint.test/internal/machine"
+
+// Hammer is the implicit attack loop; only unprivileged loads belong
+// here.
+func Hammer(m *machine.Machine) {
+	m.Load(0)
+	m.Load(4096)
+	m.Flush(0)          // want `privileged machine\.Flush call outside the allowlisted baselines`
+	m.InvalidatePage(0) // want `privileged machine\.InvalidatePage call outside the allowlisted baselines`
+}
+
+// HammerOncePrivileged has an allowlisted NAME but lives in a package
+// without an allowlist entry, so it is still flagged.
+func HammerOncePrivileged(m *machine.Machine) {
+	m.Flush(0) // want `privileged machine\.Flush call outside the allowlisted baselines`
+}

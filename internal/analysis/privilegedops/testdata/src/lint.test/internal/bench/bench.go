@@ -1,0 +1,43 @@
+// Package bench is a privilegedops fixture for the allowlisted
+// privileged-baseline bodies.
+package bench
+
+import "lint.test/internal/machine"
+
+// ImplicitPair mirrors the real bench pair type.
+type ImplicitPair struct {
+	M *machine.Machine
+}
+
+// HammerOncePrivileged is on the allowlist: it IS the privileged
+// baseline.
+func (p *ImplicitPair) HammerOncePrivileged() {
+	p.M.InvalidatePage(0)
+	p.M.Flush(0)
+}
+
+// Scenarios is allowlisted; the closure attributes to it.
+func Scenarios(m *machine.Machine) func() {
+	return func() {
+		m.Flush(4096)
+	}
+}
+
+// HammerOnce is the attack path: privileged calls are flagged.
+func (p *ImplicitPair) HammerOnce() {
+	p.M.Load(0)
+	p.M.Flush(0) // want `privileged machine\.Flush call outside the allowlisted baselines`
+}
+
+// NewBaseline carries the reviewed site exemption.
+func NewBaseline(m *machine.Machine) {
+	m.InvalidatePage(0) //pthammer:privileged-ok fixture for a yet-unlisted baseline
+}
+
+// viaClosure checks that closures in unallowlisted functions are still
+// flagged.
+func viaClosure(m *machine.Machine) func() {
+	return func() {
+		m.InvalidatePage(0) // want `privileged machine\.InvalidatePage call outside the allowlisted baselines`
+	}
+}

@@ -1,0 +1,15 @@
+package bench
+
+import (
+	"testing"
+
+	"lint.test/internal/machine"
+)
+
+// Test files may exercise privileged operations freely: they assert the
+// counters and the baselines.
+func TestPrivilegedAllowedInTests(t *testing.T) {
+	m := &machine.Machine{}
+	m.Flush(0)
+	m.InvalidatePage(0)
+}

@@ -1,0 +1,31 @@
+// Package machine is a stub of the real internal/machine facade: the
+// analyzer matches the Machine receiver type by name and package-path
+// suffix, so this fixture stands in for it. The implementing package
+// itself is never flagged.
+package machine
+
+// Machine is the facade stub.
+type Machine struct {
+	flushes, invlpgs int
+}
+
+// Flush models clflush (privileged in the paper's threat model).
+func (m *Machine) Flush(a uint64) uint64 {
+	m.flushes++
+	return 0
+}
+
+// InvalidatePage models invlpg.
+func (m *Machine) InvalidatePage(a uint64) bool {
+	m.invlpgs++
+	return true
+}
+
+// Load is an unprivileged access.
+func (m *Machine) Load(a uint64) uint64 { return 0 }
+
+// selfUse exercises the implementing-package exemption.
+func (m *Machine) selfUse() {
+	m.Flush(0)
+	m.InvalidatePage(0)
+}

@@ -177,6 +177,8 @@ func NewImplicitHammerForPair(m *machine.Machine, pair ImplicitPair, extraExclud
 // set (unprivileged clflush), then probe the page — the walk's
 // KindPTEFetch to the PT frame is the only access that reaches the
 // aggressor rows. Allocation-free in steady state.
+//
+//pthammer:noalloc
 func (h *ImplicitHammer) HammerOnce(m *machine.Machine) HammerIter {
 	var it HammerIter
 	it.Cycles += h.TLB1.Evict(m)

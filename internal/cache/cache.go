@@ -98,6 +98,8 @@ func New(l1, l2, llc Config, next mem.Device, clock *timing.Clock, counters *per
 }
 
 // lineOf returns the line number containing the address.
+//
+//pthammer:noalloc
 func (h *Hierarchy) lineOf(a phys.Addr) uint64 { return uint64(a) >> h.lineShift }
 
 // Lookup walks L1→L2→LLC and forwards a full miss to the next device,
@@ -107,6 +109,8 @@ func (h *Hierarchy) lineOf(a phys.Addr) uint64 { return uint64(a) >> h.lineShift
 // served from, so the miss path installs it in the same pass that
 // detected the miss instead of rescanning the set later. The serving
 // level's latency is charged to the shared clock.
+//
+//pthammer:noalloc
 func (h *Hierarchy) Lookup(a mem.Access) mem.Result {
 	ln := h.lineOf(a.Addr)
 	if hit, _, _ := h.l1.LookupInsert(ln); hit {
@@ -131,7 +135,7 @@ func (h *Hierarchy) Lookup(a mem.Access) mem.Result {
 		h.l2.Invalidate(victim)
 	}
 	h.counters.Inc(perf.LongestLatCacheMiss)
-	res := h.next.Lookup(a)
+	res := h.next.Lookup(a) //pthammer:alloc-ok interface dispatch to the wired memory device, itself noalloc
 	return mem.Result{Latency: res.Latency, Hit: false, Source: res.Source}
 }
 

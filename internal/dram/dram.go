@@ -142,6 +142,8 @@ func (c Config) newDecoder() decoder {
 // row, and column. Panics if the address is beyond the configured
 // capacity: callers are simulated hardware, and an out-of-range access
 // is a simulator bug.
+//
+//pthammer:noalloc
 func (d *decoder) decode(a phys.Addr) (gb int, row, col uint64) {
 	if d.pow2 {
 		block := uint64(a) >> d.rowShift
@@ -284,6 +286,8 @@ func (d *DRAM) Config() Config { return d.cfg }
 // Lookup services one memory access at a bank. It charges the
 // row-buffer-outcome latency to the shared clock, counts activations
 // and conflicts, and reports Hit for row-buffer hits.
+//
+//pthammer:noalloc
 func (d *DRAM) Lookup(a mem.Access) mem.Result {
 	d.rotateWindow()
 	gb, row, _ := d.dec.decode(a.Addr)
@@ -309,6 +313,8 @@ func (d *DRAM) Lookup(a mem.Access) mem.Result {
 
 // activate latches row into the bank's row buffer and counts the ACT.
 // A row first touched this window has its stale count lazily reset.
+//
+//pthammer:noalloc
 func (d *DRAM) activate(b *bank, row uint64) {
 	b.openRow = int64(row)
 	if b.epoch[row] == d.windowEpoch {
@@ -316,7 +322,7 @@ func (d *DRAM) activate(b *bank, row uint64) {
 	} else {
 		b.epoch[row] = d.windowEpoch
 		b.acts[row] = 1
-		b.touched = append(b.touched, row)
+		b.touched = append(b.touched, row) //pthammer:alloc-ok amortized: capacity is retained across window rotations
 	}
 	d.counters.Inc(perf.DRAMActivate)
 }
@@ -343,6 +349,8 @@ func (d *DRAM) SetWindowHook(fn func(Stats)) { d.hook = fn }
 // computed (O(touched rows)) and delivered first. Rotation is lazy:
 // everything counted since the previous rotation is attributed to the
 // window that just ended, however many boundaries have elapsed.
+//
+//pthammer:noalloc
 func (d *DRAM) rotateWindow() {
 	w := d.cfg.RefreshWindow
 	if w == 0 {
@@ -362,7 +370,7 @@ func (d *DRAM) rotateWindow() {
 			}
 		}
 		if fire {
-			ended = d.stats()
+			ended = d.stats() //pthammer:alloc-ok end-of-window report, off the per-access steady state
 		}
 	}
 	d.windowStart += (elapsed / w) * w
@@ -372,7 +380,7 @@ func (d *DRAM) rotateWindow() {
 		d.banks[i].touched = d.banks[i].touched[:0]
 	}
 	if fire {
-		d.hook(ended)
+		d.hook(ended) //pthammer:alloc-ok subscriber callback, fires at most once per refresh window
 	}
 }
 

@@ -90,6 +90,8 @@ type TLBSet struct {
 
 // Evict walks the set — the unprivileged invlpg — returning the cycles
 // charged. Allocation-free; this is the hammer loop's hot path.
+//
+//pthammer:noalloc
 func (s *TLBSet) Evict(m *machine.Machine) timing.Cycles {
 	return m.Prime(s.Pages)
 }
@@ -121,6 +123,8 @@ type LLCSet struct {
 
 // Evict walks the set — the unprivileged clflush of the PTE line —
 // returning the cycles charged. Allocation-free.
+//
+//pthammer:noalloc
 func (s *LLCSet) Evict(m *machine.Machine) timing.Cycles {
 	return m.Prime(s.Addrs)
 }

@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"testing"
+
+	"pthammer/internal/mem"
+	"pthammer/internal/phys"
+)
+
+// TestStore64EdgePaths pins the error and boundary behaviour of the
+// store path: the last aligned address inside memory works, the first
+// address outside panics, and an unaligned address panics out of phys
+// after the access already translated — the same order real hardware
+// faults in (translation first, then the data access).
+func TestStore64EdgePaths(t *testing.T) {
+	m := MustNew(SandyBridge())
+	size := phys.Addr(m.Memory().Size())
+
+	last := size - 8
+	if res := m.Store64(last, 0x1122334455667788); res.Latency == 0 {
+		t.Fatal("store at last aligned address charged no cycles")
+	}
+	if got := m.Memory().Read64(last); got != 0x1122334455667788 {
+		t.Fatalf("store at last aligned address read back %#x", got)
+	}
+
+	mustPanicMachine(t, "store at first out-of-range address", func() { m.Store64(size, 1) })
+	mustPanicMachine(t, "store far out of range", func() { m.Store64(size+0x100000, 1) })
+
+	// Unaligned: the access itself succeeds (and charges the clock), the
+	// byte write then panics in phys. The clock must show the charge —
+	// the panic happens after translation, not instead of it.
+	before := m.Clock().Now()
+	mustPanicMachine(t, "unaligned store", func() { m.Store64(0x9001, 1) })
+	if m.Clock().Now() == before {
+		t.Fatal("unaligned store panicked before translating; phys alignment panic should come after the access")
+	}
+}
+
+// TestProbeOfFlushedDataLine: flushing the data line (the privileged
+// clflush baseline) must show up in the probe verdicts as an LLC miss
+// served from DRAM without a walk — the translation is still in the
+// dTLB, so Walked and LeafFromDRAM stay false.
+func TestProbeOfFlushedDataLine(t *testing.T) {
+	m := MustNew(SandyBridge())
+	a := phys.Addr(0x51000)
+
+	m.Load(a) // warm translation + data
+	m.Flush(a)
+	p := m.Probe(a)
+	if p.Walked || p.STLBHit || p.LeafFromDRAM {
+		t.Fatalf("probe after data flush = %+v, want translation side untouched", p)
+	}
+	if !p.LLCMiss || p.Source != mem.LevelDRAM {
+		t.Fatalf("probe after data flush = %+v, want LLC miss served from DRAM", p)
+	}
+}
+
+// TestProbeOfFlushedPTELine: dropping the translation (invlpg) and
+// flushing the leaf PTE's cache line forces the next probe to walk and
+// fetch the leaf entry from DRAM — LeafFromDRAM, the implicit-hammer
+// verdict, must report it. Flushing only the PTE line while the dTLB
+// still holds the translation must report nothing: no walk, no PTE
+// fetch, warm data.
+func TestProbeOfFlushedPTELine(t *testing.T) {
+	m := MustNew(SandyBridge())
+	a := phys.Addr(0x62000)
+
+	m.Load(a)
+	pte, ok := m.PTEAddr(a, 1)
+	if !ok {
+		t.Fatal("leaf PTE not mapped after load")
+	}
+
+	// PTE line flushed but translation cached: the probe never touches
+	// the page tables.
+	m.Flush(pte)
+	if p := m.Probe(a); p.Walked || p.LeafFromDRAM || p.LLCMiss {
+		t.Fatalf("probe with cached translation = %+v, want no walk and warm data", p)
+	}
+
+	// Now drop the translation too: the walk runs and its leaf fetch
+	// misses down to DRAM.
+	m.Flush(pte)
+	m.InvalidatePage(a)
+	p := m.Probe(a)
+	if !p.Walked || !p.LeafFromDRAM {
+		t.Fatalf("probe after invlpg + PTE flush = %+v, want walk with DRAM leaf fetch", p)
+	}
+	if !p.LLCMiss {
+		t.Fatalf("probe after invlpg + PTE flush = %+v, want the PTE fetch to count as an LLC miss", p)
+	}
+}
+
+// TestProbeOutOfRange: probing outside physical memory panics like the
+// load it wraps.
+func TestProbeOutOfRange(t *testing.T) {
+	m := MustNew(SandyBridge())
+	mustPanicMachine(t, "probe out of range", func() { m.Probe(phys.Addr(m.Memory().Size())) })
+}

@@ -220,6 +220,8 @@ func MustNew(cfg Config) *Machine {
 // Hit/Source report where the data was served. Panics on an
 // out-of-range virtual address, mirroring phys, and on a (corrupted)
 // translation that resolves outside memory.
+//
+//pthammer:noalloc
 func (m *Machine) access(a phys.Addr, kind mem.Kind) (phys.Addr, mem.Result) {
 	if !m.mem.Contains(a) {
 		panic(fmt.Sprintf("machine: %v at %#x outside %d-byte memory", kind, uint64(a), m.mem.Size()))
@@ -243,6 +245,8 @@ func (m *Machine) access(a phys.Addr, kind mem.Kind) (phys.Addr, mem.Result) {
 
 // Load performs one demand load at the virtual address — the shared
 // access path with nothing written back.
+//
+//pthammer:noalloc
 func (m *Machine) Load(a phys.Addr) mem.Result {
 	_, res := m.access(a, mem.KindLoad)
 	return res
@@ -256,6 +260,8 @@ func (m *Machine) Load(a phys.Addr) mem.Result {
 // final step: once a flipped PTE maps an attacker page onto a
 // page-table frame, Store64 through that page rewrites page-table
 // entries. The address must be 8-byte aligned (phys panics otherwise).
+//
+//pthammer:noalloc
 func (m *Machine) Store64(a phys.Addr, v uint64) mem.Result {
 	pa, res := m.access(a, mem.KindStore)
 	m.mem.Write64(pa, v)
@@ -316,14 +322,16 @@ func (m *Machine) Premap(start phys.Addr, bytes uint64) {
 // reused buffer (`buf = m.LoadN(addrs, buf[:0])`) keeps batched
 // measurement loops — the sweep engine's inner loop — allocation-free;
 // the single capacity check up front replaces a per-load append grow.
+//
+//pthammer:noalloc
 func (m *Machine) LoadN(addrs []phys.Addr, out []mem.Result) []mem.Result {
 	if need := len(out) + len(addrs); cap(out) < need {
-		grown := make([]mem.Result, len(out), need)
+		grown := make([]mem.Result, len(out), need) //pthammer:alloc-ok one up-front grow; reused buffers never hit it
 		copy(grown, out)
 		out = grown
 	}
 	for _, a := range addrs {
-		out = append(out, m.Load(a))
+		out = append(out, m.Load(a)) //pthammer:alloc-ok capacity reserved above, append never grows
 	}
 	return out
 }
@@ -334,6 +342,8 @@ func (m *Machine) LoadN(addrs []phys.Addr, out []mem.Result) []mem.Result {
 // walking a measured set of conflicting pages (or lines) is the
 // unprivileged attacker's substitute for invlpg and clflush, so the
 // loop body must stay allocation-free for the hammer hot path.
+//
+//pthammer:noalloc
 func (m *Machine) Prime(addrs []phys.Addr) timing.Cycles {
 	var total timing.Cycles
 	for _, a := range addrs {
@@ -367,6 +377,8 @@ type ProbeResult struct {
 // construction (Algorithm 1) uses it to decide whether a candidate
 // stream really evicted the target translation or PTE line; it charges
 // exactly what the Load charges and allocates nothing.
+//
+//pthammer:noalloc
 func (m *Machine) Probe(a phys.Addr) ProbeResult {
 	snap := m.counters.Snapshot()
 	res := m.Load(a)

@@ -58,6 +58,8 @@ func NewSetAssoc(sets, ways int) *SetAssoc {
 }
 
 // set returns the set index and the live prefix of that set's ways.
+//
+//pthammer:noalloc
 func (s *SetAssoc) set(tag uint64) (idx uint64, ways []saEntry) {
 	idx = tag & s.setMask
 	base := idx * s.ways
@@ -67,6 +69,8 @@ func (s *SetAssoc) set(tag uint64) (idx uint64, ways []saEntry) {
 // Lookup reports whether the tag is present, refreshing its LRU age on
 // a hit. The tick advances only when an entry is actually stamped, so
 // a stream of misses cannot perturb replacement order.
+//
+//pthammer:noalloc
 func (s *SetAssoc) Lookup(tag uint64) bool {
 	_, ways := s.set(tag)
 	for i := range ways {
@@ -81,6 +85,8 @@ func (s *SetAssoc) Lookup(tag uint64) bool {
 
 // LookupV is Lookup for value-carrying users: a hit refreshes the
 // tag's LRU age and returns the stored payload.
+//
+//pthammer:noalloc
 func (s *SetAssoc) LookupV(tag uint64) (val uint64, hit bool) {
 	idx, ways := s.set(tag)
 	for i := range ways {
@@ -96,11 +102,15 @@ func (s *SetAssoc) LookupV(tag uint64) (val uint64, hit bool) {
 // Insert places the tag, evicting the LRU way if the set is full. It
 // returns the evicted tag (valid only when evicted is true); inserting
 // an already-present tag just refreshes it.
+//
+//pthammer:noalloc
 func (s *SetAssoc) Insert(tag uint64) (evictedTag uint64, evicted bool) {
 	return s.InsertV(tag, 0)
 }
 
 // InsertV is Insert with a payload attached to the tag.
+//
+//pthammer:noalloc
 func (s *SetAssoc) InsertV(tag, val uint64) (evictedTag uint64, evicted bool) {
 	_, _, evictedTag, evicted = s.LookupInsertV(tag, val)
 	return evictedTag, evicted
@@ -110,6 +120,8 @@ func (s *SetAssoc) InsertV(tag, val uint64) (evictedTag uint64, evicted bool) {
 // tag's LRU age; on a miss it inserts the tag, evicting the LRU way if
 // the set is full. It fuses the Lookup-then-Insert pair every
 // cache/TLB miss path used to pay as two scans of the same set.
+//
+//pthammer:noalloc
 func (s *SetAssoc) LookupInsert(tag uint64) (hit bool, evictedTag uint64, evicted bool) {
 	hit, _, evictedTag, evicted = s.LookupInsertV(tag, 0)
 	return hit, evictedTag, evicted
@@ -120,6 +132,8 @@ func (s *SetAssoc) LookupInsert(tag uint64) (hit bool, evictedTag uint64, evicte
 // (the provided val is ignored: a cached translation is never silently
 // remapped — invalidate first). On a miss it inserts the tag with val,
 // evicting the LRU way if the set is full.
+//
+//pthammer:noalloc
 func (s *SetAssoc) LookupInsertV(tag, val uint64) (hit bool, cur uint64, evictedTag uint64, evicted bool) {
 	idx, ways := s.set(tag)
 	base := idx * s.ways
@@ -152,6 +166,8 @@ func (s *SetAssoc) LookupInsertV(tag, val uint64) (hit bool, cur uint64, evicted
 // Invalidate drops the tag if present, reporting whether it was. The
 // last live entry moves into the vacated slot to keep the prefix
 // packed (slot order is meaningless; LRU lives in the stamps).
+//
+//pthammer:noalloc
 func (s *SetAssoc) Invalidate(tag uint64) bool {
 	idx, ways := s.set(tag)
 	base := idx * s.ways
@@ -171,6 +187,8 @@ func (s *SetAssoc) Invalidate(tag uint64) bool {
 
 // Contains reports presence without disturbing LRU state, for tests
 // and introspection.
+//
+//pthammer:noalloc
 func (s *SetAssoc) Contains(tag uint64) bool {
 	_, ways := s.set(tag)
 	for i := range ways {

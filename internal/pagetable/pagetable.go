@@ -49,14 +49,20 @@ func NewEntry(f phys.Frame) Entry {
 }
 
 // Present reports whether the entry maps anything.
+//
+//pthammer:noalloc
 func (e Entry) Present() bool { return e&entryPresent != 0 }
 
 // Frame returns the frame number the entry points to.
+//
+//pthammer:noalloc
 func (e Entry) Frame() phys.Frame { return phys.FrameOf(phys.Addr(e & entryFrameMask)) }
 
 // Index returns the radix index the given level uses for the virtual
 // address: level 4 is the PML4 (bits 39..47) down to level 1, the PT
 // (bits 12..20).
+//
+//pthammer:noalloc
 func Index(va phys.Addr, level int) uint64 {
 	if level < 1 || level > Levels {
 		panic(fmt.Sprintf("pagetable: level %d out of range", level))
@@ -68,6 +74,8 @@ func Index(va phys.Addr, level int) uint64 {
 // consults inside the given table frame at the given level. It is the
 // single place the entry-position math lives; the hardware walker
 // (internal/ptwalk) computes its fetch targets with it as it descends.
+//
+//pthammer:noalloc
 func EntryAddrIn(table phys.Frame, va phys.Addr, level int) phys.Addr {
 	return table.Addr() + phys.Addr(Index(va, level)*EntryBytes)
 }
@@ -137,6 +145,8 @@ func (t *Tables) alloc() phys.Frame {
 }
 
 // Root returns the root (CR3) table frame.
+//
+//pthammer:noalloc
 func (t *Tables) Root() phys.Frame { return t.root }
 
 // Allocated returns how many table frames have been handed out.

@@ -89,12 +89,18 @@ type Counters struct {
 }
 
 // Inc adds one to the event's counter.
+//
+//pthammer:noalloc
 func (c *Counters) Inc(e Event) { c.counts[e]++ }
 
 // Add adds n to the event's counter.
+//
+//pthammer:noalloc
 func (c *Counters) Add(e Event, n uint64) { c.counts[e] += n }
 
 // Read returns the current value of the event's counter.
+//
+//pthammer:noalloc
 func (c *Counters) Read(e Event) uint64 { return c.counts[e] }
 
 // Reset zeroes every counter.
@@ -105,7 +111,10 @@ func (c *Counters) Reset() {
 }
 
 // Snapshot captures all counter values, for delta measurements around a
-// profiled operation.
+// profiled operation. The copy is a fixed-size array, so taking one in a
+// hot loop costs no heap traffic.
+//
+//pthammer:noalloc
 func (c *Counters) Snapshot() Snapshot {
 	var s Snapshot
 	s.counts = c.counts
@@ -118,6 +127,8 @@ type Snapshot struct {
 }
 
 // Delta returns how much the event advanced since the snapshot was taken.
+//
+//pthammer:noalloc
 func (s Snapshot) Delta(c *Counters, e Event) uint64 {
 	return c.counts[e] - s.counts[e]
 }
@@ -126,6 +137,8 @@ func (s Snapshot) Delta(c *Counters, e Event) uint64 {
 // the boolean the eviction-set verdicts ask ("did this load cause a
 // walk?", "did the leaf PTE come from DRAM?") without caring by how
 // much.
+//
+//pthammer:noalloc
 func (s Snapshot) Advanced(c *Counters, e Event) bool {
 	return c.counts[e] != s.counts[e]
 }

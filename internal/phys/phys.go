@@ -22,12 +22,18 @@ type Addr uint64
 type Frame uint64
 
 // Addr returns the base physical address of the frame.
+//
+//pthammer:noalloc
 func (f Frame) Addr() Addr { return Addr(f) << FrameShift }
 
 // FrameOf returns the frame containing the physical address.
+//
+//pthammer:noalloc
 func FrameOf(a Addr) Frame { return Frame(a >> FrameShift) }
 
 // Offset returns the offset of the address within its frame.
+//
+//pthammer:noalloc
 func Offset(a Addr) uint64 { return uint64(a) & (FrameSize - 1) }
 
 // Memory is a sparse physical memory of a fixed size. The zero value is
@@ -63,20 +69,26 @@ func MustNew(size uint64) *Memory {
 func (m *Memory) Size() uint64 { return m.size }
 
 // Frames returns the number of physical frames.
+//
+//pthammer:noalloc
 func (m *Memory) Frames() uint64 { return m.size / FrameSize }
 
 // Contains reports whether the address is inside the memory.
+//
+//pthammer:noalloc
 func (m *Memory) Contains(a Addr) bool { return uint64(a) < m.size }
 
 // frame returns the backing array for f, allocating it (zeroed) on first
 // touch. Panics if f is out of range: callers are simulated hardware, and
 // an out-of-range physical access is a simulator bug, not a runtime
 // condition to handle.
+//
+//pthammer:noalloc
 func (m *Memory) frame(f Frame) *[FrameSize]byte {
 	fr := m.peek(f)
 	if fr == nil {
-		fr = new([FrameSize]byte)
-		m.frames[f] = fr
+		fr = new([FrameSize]byte) //pthammer:alloc-ok lazy first-touch materialization, once per frame
+		m.frames[f] = fr          //pthammer:alloc-ok same: recording the materialized frame
 	}
 	return fr
 }
@@ -85,6 +97,8 @@ func (m *Memory) frame(f Frame) *[FrameSize]byte {
 // been written. Read paths use it so sweeping loads over a large
 // address space do not materialize host memory. Panics like frame on
 // out-of-range frames.
+//
+//pthammer:noalloc
 func (m *Memory) peek(f Frame) *[FrameSize]byte {
 	if uint64(f) >= m.Frames() {
 		panic(fmt.Sprintf("phys: frame %#x out of range (%d frames)", uint64(f), m.Frames()))
@@ -113,6 +127,8 @@ func (m *Memory) Write8(a Addr, b byte) {
 
 // Read64 loads a little-endian 64-bit value. The address must be 8-byte
 // aligned (page-table entries always are).
+//
+//pthammer:noalloc
 func (m *Memory) Read64(a Addr) uint64 {
 	if a&7 != 0 {
 		panic(fmt.Sprintf("phys: unaligned 64-bit read at %#x", uint64(a)))
@@ -131,6 +147,8 @@ func (m *Memory) Read64(a Addr) uint64 {
 
 // Write64 stores a little-endian 64-bit value. The address must be 8-byte
 // aligned.
+//
+//pthammer:noalloc
 func (m *Memory) Write64(a Addr, v uint64) {
 	if a&7 != 0 {
 		panic(fmt.Sprintf("phys: unaligned 64-bit write at %#x", uint64(a)))

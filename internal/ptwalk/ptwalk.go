@@ -176,6 +176,8 @@ func New(cfg Config, tables *pagetable.Tables, memory mem.Device, pmem *phys.Mem
 // pscTag returns the tag the paging-structure cache covering `level`
 // uses: the virtual address truncated to that level's span. psc[i]
 // covers level i+2.
+//
+//pthammer:noalloc
 func pscTag(va phys.Addr, level int) uint64 {
 	return uint64(va) >> (phys.FrameShift + pagetable.IndexBits*(level-1))
 }
@@ -184,6 +186,8 @@ func pscTag(va phys.Addr, level int) uint64 {
 // frame the leaf PTE maps va to. The reported latency is everything
 // the walk charged: an optional PS-cache hit, and per walked level the
 // PTE-fetch memory access plus the fixed PageWalkStep.
+//
+//pthammer:noalloc
 func (w *Walker) Translate(a mem.Access) (phys.Frame, mem.Result) {
 	va := a.Addr
 	table := w.tables.Root()
@@ -204,7 +208,7 @@ func (w *Walker) Translate(a mem.Access) (phys.Frame, mem.Result) {
 
 	for level := start; level >= 1; level-- {
 		entryAddr := pagetable.EntryAddrIn(table, va, level)
-		res := w.memory.Lookup(mem.Access{Addr: entryAddr, Kind: mem.KindPTEFetch})
+		res := w.memory.Lookup(mem.Access{Addr: entryAddr, Kind: mem.KindPTEFetch}) //pthammer:alloc-ok interface dispatch to the wired cache hierarchy, itself noalloc
 		w.clock.Advance(w.stepCost)
 		w.counters.Inc(walkStepEvent[level-1])
 		if level == 1 && res.Source == mem.LevelDRAM {
@@ -217,7 +221,7 @@ func (w *Walker) Translate(a mem.Access) (phys.Frame, mem.Result) {
 			if w.Fault == nil {
 				panic(fmt.Sprintf("ptwalk: non-present level-%d entry for %#x and no fault handler", level, uint64(va)))
 			}
-			w.Fault(va, level)
+			w.Fault(va, level) //pthammer:alloc-ok demand-mapping fault handler, cold path
 			e = pagetable.Entry(w.pmem.Read64(entryAddr))
 			if !e.Present() {
 				panic(fmt.Sprintf("ptwalk: fault handler left level-%d entry for %#x non-present", level, uint64(va)))

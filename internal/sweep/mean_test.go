@@ -1,0 +1,52 @@
+package sweep
+
+import (
+	"testing"
+
+	"pthammer/internal/timing"
+)
+
+// TestMeanIsOrderIndependent pins the determinism fix in Histogram.Mean:
+// the sum must run over sorted bins, not the raw count map. The samples
+// are chosen so that summing in the wrong order visibly changes the
+// result: 2^53 is the edge of float64's exact-integer range, so
+// (1+2)+2^53 and (2^53+1)+2 round to different values. With
+// map-iteration order deciding the sum, some fresh histograms would
+// report a different mean for identical samples; after the fix every
+// one of them must report the bit-identical sorted-order value.
+func TestMeanIsOrderIndependent(t *testing.T) {
+	big := timing.Cycles(1) << 53
+	// Sorted-bin order: (1 + 2) + 2^53.
+	want := (float64(1) + float64(2) + float64(big)) / 3
+	for i := 0; i < 200; i++ {
+		h := NewHistogram()
+		// Insertion order must not matter; vary it too.
+		if i%2 == 0 {
+			h.Add(big)
+			h.Add(2)
+			h.Add(1)
+		} else {
+			h.Add(1)
+			h.Add(2)
+			h.Add(big)
+		}
+		if got := h.Mean(); got != want {
+			t.Fatalf("iteration %d: Mean() = %v, want %v (sum order leaked into the result)", i, got, want)
+		}
+	}
+}
+
+// TestMeanMatchesExactAverage checks the plain arithmetic on values far
+// from any float rounding edge.
+func TestMeanMatchesExactAverage(t *testing.T) {
+	h := NewHistogram()
+	for _, c := range []timing.Cycles{10, 20, 20, 50} {
+		h.Add(c)
+	}
+	if got, want := h.Mean(), 25.0; got != want {
+		t.Fatalf("Mean() = %v, want %v", got, want)
+	}
+	if got := NewHistogram().Mean(); got != 0 {
+		t.Fatalf("empty Mean() = %v, want 0", got)
+	}
+}

@@ -204,31 +204,37 @@ func (h *Histogram) Quantiles(qs ...float64) []timing.Cycles {
 }
 
 // Mean returns the average sample latency in cycles (0 when empty).
+// The sum runs over sorted bins, not the raw count map: float addition
+// is not associative, so summing in map-iteration order would make the
+// low digits of the mean vary run to run on identical samples.
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {
 		return 0
 	}
 	var sum float64
-	for c, n := range h.counts {
-		sum += float64(c) * float64(n)
+	for _, b := range h.Bins() {
+		sum += float64(b.Latency) * float64(b.Count)
 	}
 	return sum / float64(h.total)
 }
 
-// Merge folds other's samples into h.
+// Merge folds other's samples into h. Map order is harmless here:
+// per-key uint64 adds commute, so any iteration order yields the same
+// counts.
 func (h *Histogram) Merge(other *Histogram) {
-	for c, n := range other.counts {
+	for c, n := range other.counts { //pthammer:nondeterministic-ok order-independent integer accumulation per distinct key
 		h.counts[c] += n
 	}
 	h.total += other.total
 }
 
-// Equal reports whether two histograms hold identical samples.
+// Equal reports whether two histograms hold identical samples. Map
+// order is harmless here: membership comparison is order-independent.
 func (h *Histogram) Equal(other *Histogram) bool {
 	if h.total != other.total || len(h.counts) != len(other.counts) {
 		return false
 	}
-	for c, n := range h.counts {
+	for c, n := range h.counts { //pthammer:nondeterministic-ok order-independent membership comparison
 		if other.counts[c] != n {
 			return false
 		}

@@ -41,9 +41,13 @@ func MustNewClock(freqHz uint64) *Clock {
 }
 
 // Now returns the current cycle count (the simulated rdtsc).
+//
+//pthammer:noalloc
 func (c *Clock) Now() Cycles { return c.now }
 
 // Advance moves the clock forward by n cycles.
+//
+//pthammer:noalloc
 func (c *Clock) Advance(n Cycles) { c.now += n }
 
 // FreqHz returns the core frequency in Hz.
@@ -185,6 +189,8 @@ func Quiet() *Noise {
 }
 
 // Sample returns the extra cycles to add to one timed measurement.
+//
+//pthammer:noalloc
 func (n *Noise) Sample() Cycles {
 	if n.prob == 0 {
 		return 0

@@ -92,6 +92,8 @@ func New(cfg Config, walker mem.Translator, clock *timing.Clock, counters *perf.
 }
 
 // vpnOf returns the 4 KiB virtual page number of the access.
+//
+//pthammer:noalloc
 func vpnOf(a phys.Addr) uint64 { return uint64(a) >> phys.FrameShift }
 
 // Translate resolves the access's page to its physical frame. A dTLB
@@ -101,6 +103,8 @@ func vpnOf(a phys.Addr) uint64 { return uint64(a) >> phys.FrameShift }
 // installs the frame the walk resolved in both levels. The hit paths
 // are a single LookupV scan; the miss path's extra insert scan is
 // noise next to the walk it just paid for.
+//
+//pthammer:noalloc
 func (t *TLB) Translate(a mem.Access) (phys.Frame, mem.Result) {
 	vpn := vpnOf(a.Addr)
 	if v, hit := t.l1.LookupV(vpn); hit {
@@ -114,7 +118,7 @@ func (t *TLB) Translate(a mem.Access) (phys.Frame, mem.Result) {
 		return phys.Frame(v), mem.Result{Latency: t.l2Hit, Hit: true, Source: mem.LevelTLB2}
 	}
 	t.counters.Inc(perf.DTLBLoadMissesWalk)
-	frame, res := t.walker.Translate(a)
+	frame, res := t.walker.Translate(a) //pthammer:alloc-ok interface dispatch to the wired page walker, itself noalloc
 	t.l1.InsertV(vpn, uint64(frame))
 	t.l2.InsertV(vpn, uint64(frame))
 	return frame, mem.Result{Latency: res.Latency, Hit: false, Source: mem.LevelPageWalk}
