@@ -11,6 +11,7 @@
 //
 //	pthammer-bench             rerun and write the next BENCH_NNNN.json
 //	pthammer-bench -o FILE     rerun and write FILE
+//	pthammer-bench -C DIR      look for baselines (and write reports) in DIR
 //	pthammer-bench -check      regression gate: rerun and exit non-zero
 //	                           if any steady-state scenario regresses
 //	                           >25% vs. the latest committed
@@ -18,12 +19,16 @@
 //
 // -check is wired into CI so hot-path regressions fail the PR that
 // introduces them, not the next perf PR.
+//
+// Exit codes: 0 success, 1 regression (or other runtime failure),
+// 2 usage error, 3 report write failure, 4 baseline missing or corrupt.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -32,6 +37,17 @@ import (
 	"testing"
 
 	"pthammer/internal/bench"
+)
+
+// The command's exit codes, one per failure surface: CI scripts need
+// to tell "your change is slower" (1) from "your baseline file is
+// gone or unparseable" (4) from "the report didn't land on disk" (3).
+const (
+	exitOK         = 0
+	exitRegression = 1
+	exitUsage      = 2
+	exitWrite      = 3
+	exitBaseline   = 4
 )
 
 // maxRegression is the ns/op ratio past which -check fails a
@@ -188,42 +204,55 @@ func check(results []scenarioResult, baseline report, baselinePath string) (fail
 	return failures, notes
 }
 
-func main() {
-	out := flag.String("o", "", "output path for the JSON report (default: next BENCH_NNNN.json)")
-	checkMode := flag.Bool("check", false, "regression gate: compare against the latest BENCH_NNNN.json and exit non-zero on regression; writes no report")
-	flag.Parse()
-
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "pthammer-bench:", err)
-		os.Exit(1)
+// run is main with its environment made explicit so the error paths
+// are table-testable: args exclude the program name, measureFn stands
+// in for the (slow) real benchmark sweep, and the return value is the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer, measureFn func() []scenarioResult) int {
+	fs := flag.NewFlagSet("pthammer-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output path for the JSON report (default: next BENCH_NNNN.json in the -C directory)")
+	dir := fs.String("C", ".", "directory holding the BENCH_NNNN.json baselines; reports are written there")
+	checkMode := fs.Bool("check", false, "regression gate: compare against the latest BENCH_NNNN.json and exit non-zero on regression; writes no report")
+	if err := fs.Parse(args); err != nil {
+		// The flag set already printed the parse error and usage.
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "pthammer-bench: unexpected arguments: %q\n", fs.Args())
+		fs.Usage()
+		return exitUsage
 	}
 
-	basePath, baseNum, haveBase, err := latestBaseline(".")
+	basePath, baseNum, haveBase, err := latestBaseline(*dir)
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "pthammer-bench:", err)
+		return exitBaseline
 	}
 
 	if *checkMode {
 		if !haveBase {
-			fail(fmt.Errorf("-check needs a committed BENCH_NNNN.json baseline"))
+			fmt.Fprintf(stderr, "pthammer-bench: -check needs a committed BENCH_NNNN.json baseline in %s\n", *dir)
+			return exitBaseline
 		}
 		baseline, err := loadReport(basePath)
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "pthammer-bench: corrupt baseline:", err)
+			return exitBaseline
 		}
-		failures, notes := check(measure(), baseline, basePath)
+		failures, notes := check(measureFn(), baseline, basePath)
 		for _, n := range notes {
-			fmt.Println("note:", n)
+			fmt.Fprintln(stdout, "note:", n)
 		}
 		if len(failures) > 0 {
 			for _, f := range failures {
-				fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+				fmt.Fprintln(stderr, "REGRESSION:", f)
 			}
-			os.Exit(1)
+			return exitRegression
 		}
-		fmt.Printf("check passed: steady-state scenarios within %.0f%% of %s, 0 allocs/op\n",
+		fmt.Fprintf(stdout, "check passed: steady-state scenarios within %.0f%% of %s, 0 allocs/op\n",
 			(maxRegression-1)*100, basePath)
-		return
+		return exitOK
 	}
 
 	rep := report{
@@ -238,14 +267,15 @@ func main() {
 		rep.BaselineFile = filepath.Base(basePath)
 		baseline, err := loadReport(basePath)
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "pthammer-bench: corrupt baseline:", err)
+			return exitBaseline
 		}
 		baseNs = make(map[string]float64, len(baseline.Scenarios))
 		for _, s := range baseline.Scenarios {
 			baseNs[s.Name] = s.NsPerOp
 		}
 	}
-	rep.Scenarios = measure()
+	rep.Scenarios = measureFn()
 	for i := range rep.Scenarios {
 		if b, ok := baseNs[rep.Scenarios[i].Name]; ok && rep.Scenarios[i].NsPerOp > 0 {
 			rep.Scenarios[i].SpeedupVsBaseline = b / rep.Scenarios[i].NsPerOp
@@ -254,15 +284,22 @@ func main() {
 
 	path := *out
 	if path == "" {
-		path = fmt.Sprintf("BENCH_%04d.json", baseNum+1)
+		path = filepath.Join(*dir, fmt.Sprintf("BENCH_%04d.json", baseNum+1))
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "pthammer-bench:", err)
+		return exitRegression
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "pthammer-bench:", err)
+		return exitWrite
 	}
-	fmt.Println("wrote", path)
+	fmt.Fprintln(stdout, "wrote", path)
+	return exitOK
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, measure))
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -96,5 +97,123 @@ func TestLatestBaselinePicksHighestNumber(t *testing.T) {
 	empty := t.TempDir()
 	if _, _, ok, err := latestBaseline(empty); err != nil || ok {
 		t.Fatalf("empty dir: ok=%v err=%v, want no baseline", ok, err)
+	}
+}
+
+// stubMeasure stands in for the real benchmark sweep so the CLI tests
+// never run benchmarks; t.Fatal-ing variant for paths that must fail
+// before measuring.
+func stubMeasure() []scenarioResult {
+	return []scenarioResult{steadyResult("warm-load", 100, 0)}
+}
+
+// TestRunErrorPaths is the CLI hardening contract: every bad
+// invocation returns its designated exit code with a message on
+// stderr, none of them panics, and baseline problems are told apart
+// from usage and write problems.
+func TestRunErrorPaths(t *testing.T) {
+	corrupt := t.TempDir()
+	if err := os.WriteFile(filepath.Join(corrupt, "BENCH_0001.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := t.TempDir()
+
+	cases := []struct {
+		name   string
+		args   []string
+		code   int
+		stderr string
+	}{
+		{"unknown flag", []string{"-no-such-flag"}, exitUsage, "flag provided but not defined"},
+		{"stray arguments", []string{"extra"}, exitUsage, "unexpected arguments"},
+		{"check without baseline", []string{"-C", empty, "-check"}, exitBaseline, "needs a committed BENCH_NNNN.json baseline"},
+		{"check with corrupt baseline", []string{"-C", corrupt, "-check"}, exitBaseline, "corrupt baseline"},
+		{"write with corrupt baseline", []string{"-C", corrupt}, exitBaseline, "corrupt baseline"},
+		{"unreadable baseline dir", []string{"-C", "/nonexistent-dir"}, exitBaseline, "no such file or directory"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			measured := false
+			code := run(tc.args, &stdout, &stderr, func() []scenarioResult {
+				measured = true
+				return stubMeasure()
+			})
+			if code != tc.code {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.stderr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.stderr, stderr.String())
+			}
+			if measured {
+				t.Fatal("benchmarks ran before the failure was diagnosed")
+			}
+		})
+	}
+}
+
+// TestRunWriteFailureIsDistinct: a report that cannot land on disk is
+// exit 3, after measurement, not a baseline or usage error.
+func TestRunWriteFailureIsDistinct(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-o", "/nonexistent-dir/out.json"}, &stdout, &stderr, stubMeasure)
+	if code != exitWrite {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, exitWrite, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "no such file or directory") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestRunCheckVerdicts drives the gate end to end through run(): a
+// regression is exit 1, a clean run exit 0, both against a real
+// baseline file in the -C directory.
+func TestRunCheckVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	baseline := `{"scenarios":[{"name":"warm-load","ns_per_op":100,"steady_state":true}]}`
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_0001.json"), []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "-check"}, &stdout, &stderr, func() []scenarioResult {
+		return []scenarioResult{steadyResult("warm-load", 100*maxRegression*1.01, 0)}
+	})
+	if code != exitRegression || !strings.Contains(stderr.String(), "REGRESSION") {
+		t.Fatalf("regression: exit %d, stderr %s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-C", dir, "-check"}, &stdout, &stderr, stubMeasure)
+	if code != exitOK || !strings.Contains(stdout.String(), "check passed") {
+		t.Fatalf("clean run: exit %d, stdout %s, stderr %s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestRunWritesNumberedReport: without -o the report lands as the next
+// BENCH_NNNN.json in the -C directory and records its baseline.
+func TestRunWritesNumberedReport(t *testing.T) {
+	dir := t.TempDir()
+	baseline := `{"scenarios":[{"name":"warm-load","ns_per_op":200,"steady_state":true}]}`
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_0007.json"), []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir}, &stdout, &stderr, stubMeasure)
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr %s", code, stderr.String())
+	}
+	next := filepath.Join(dir, "BENCH_0008.json")
+	rep, err := loadReport(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaselineFile != "BENCH_0007.json" || len(rep.Scenarios) != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if got := rep.Scenarios[0].SpeedupVsBaseline; got != 2 {
+		t.Fatalf("speedup vs baseline = %v, want 2", got)
 	}
 }

@@ -1,6 +1,6 @@
 // Package determinism flags nondeterminism sources in the packages whose
-// output must be byte-identical per seed: the sweep/flip/evset pipeline
-// and every cmd/ entry point. PThammer's tables are diffed in CI against
+// output must be byte-identical per seed: the sweep/flip/evset/fault
+// pipeline and every cmd/ entry point. PThammer's tables are diffed in CI against
 // golden runs, so a wall-clock read, an unseeded global rand call, or an
 // unordered map iteration is a correctness bug, not a style issue.
 //
@@ -35,6 +35,7 @@ var deterministicSuffixes = []string{
 	"internal/sweep",
 	"internal/flip",
 	"internal/evset",
+	"internal/fault",
 }
 
 // randConstructors are the math/rand package-level functions that build

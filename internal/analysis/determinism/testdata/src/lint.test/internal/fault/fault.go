@@ -1,0 +1,17 @@
+// Package fault is a determinism fixture for the internal/fault path
+// suffix: fault models draw from a private seeded stream, so global
+// rand is exactly the bug the suffix listing exists to catch.
+package fault
+
+import "math/rand"
+
+// drop samples the global stream: flagged, because the injected fault
+// sequence must be a pure function of the model's seed.
+func drop(rate float64) bool {
+	return rand.Float64() < rate // want `call to global rand.Float64 in deterministic package`
+}
+
+// dropSeeded draws from a seeded generator: the deterministic way.
+func dropSeeded(rng *rand.Rand, rate float64) bool {
+	return rng.Float64() < rate
+}

@@ -19,6 +19,7 @@ package bench
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"pthammer/internal/dram"
 	"pthammer/internal/evset"
@@ -29,11 +30,14 @@ import (
 	"pthammer/internal/timing"
 )
 
-// escalationSeedRegions is how many 2 MiB regions PlanEscalation
-// touches while hunting for a sprayable aggressor pair. It must reach
-// past the pair whose victim row maps a sprayable region (regions
-// 222/286 with victim tables for 254/255 on the SandyBridge layout).
-const escalationSeedRegions = 320
+// escalationSeedRegions is how many 2 MiB regions the escalation
+// planner touches while hunting for sprayable aggressor pairs. It must
+// reach past the first pair whose victim row maps a sprayable region,
+// and — for the budgeted driver's replan tier — far enough that the
+// ranking holds fallback pairs: at 500 regions the SandyBridge demo
+// layout yields three viable pairs on distinct victim rows, so an
+// invalidated pair still leaves two to fall back to.
+const escalationSeedRegions = 500
 
 // escalationMarker is the value the attacker's final store plants in
 // kernel memory to prove arbitrary physical write.
@@ -117,30 +121,58 @@ func sameBank(a, b dram.Location) bool {
 	return a.Channel == b.Channel && a.Rank == b.Rank && a.Bank == b.Bank
 }
 
-// PlanEscalation lays out the attack on a fresh machine. It touches up
-// to escalationSeedRegions regions (demand-allocating their page
-// tables), then picks the first same-bank two-rows-apart PTE pair
-// whose victim row holds leaf page tables with a non-empty jackpot
-// surface: at least one sprayed page's identity frame is a single bit
-// flip away from a known page-table frame. It sprays the victim
-// regions, premaps a TLB-thrash region, and computes the exclusion
-// set for eviction-set construction. Only demand loads are issued.
-func PlanEscalation(m *machine.Machine) (*EscalationPlan, error) {
+// pairCand is one viable aggressor pair the planner ranked: same-bank,
+// two rows apart, victim row holding leaf tables with a non-empty
+// jackpot surface.
+type pairCand struct {
+	lo, hi       regionCand
+	loLoc, hiLoc dram.Location
+	victimRow    uint64
+	victims      []phys.Addr
+	sprayable    int
+}
+
+// regionCand is one touched 2 MiB region and its leaf-PTE address.
+type regionCand struct {
+	va  phys.Addr
+	pte phys.Addr
+}
+
+// EscalationPlanner enumerates and ranks every viable aggressor pair on
+// one machine, so the escalation driver can fall back to the next-best
+// pair when the best one stops producing exploitable flips (a fault
+// invalidated it, or its jackpot surface was simply unlucky). The
+// candidate scan and ranking run once in NewEscalationPlanner; each
+// Next call lays out (sprays, excludes, picks a thrash stream for) the
+// next pair in rank order.
+type EscalationPlanner struct {
+	m     *machine.Machine
+	geom  dram.Config
+	cands []regionCand
+	pairs []pairCand
+	next  int
+	ptOf  map[phys.Frame]phys.Addr
+}
+
+// NewEscalationPlanner touches up to escalationSeedRegions regions
+// (demand-allocating their page tables), then collects every same-bank
+// two-rows-apart PTE pair whose victim row holds leaf page tables with
+// at least one single-bit jackpot position, ranked by jackpot-surface
+// size (scan order breaks ties), deduplicated by victim row — two
+// pairs hammering the same row would fail the same way. Only demand
+// loads are issued.
+func NewEscalationPlanner(m *machine.Machine) (*EscalationPlanner, error) {
 	span := pagetable.Span(2)
 	geom := m.DRAM().Config()
 	poolBase, _ := m.PageTables().Region()
 	limit := poolBase.Addr()
 
-	type cand struct {
-		va  phys.Addr
-		pte phys.Addr
-	}
-	var cands []cand
+	cands := make([]regionCand, 0, escalationSeedRegions)
 	for k := 0; k < escalationSeedRegions && phys.Addr(uint64(k)*span) < limit; k++ {
 		va := phys.Addr(uint64(k) * span)
 		m.Load(va)
 		if pte, ok := m.PTEAddr(va, 1); ok {
-			cands = append(cands, cand{va: va, pte: pte})
+			cands = append(cands, regionCand{va: va, pte: pte})
 		}
 	}
 	ptOf := leafPTs(m)
@@ -163,6 +195,12 @@ func PlanEscalation(m *machine.Machine) (*EscalationPlan, error) {
 		return n
 	}
 
+	p := &EscalationPlanner{m: m, geom: geom, cands: cands, ptOf: ptOf}
+	type rowKey struct {
+		channel, rank, bank int
+		row                 uint64
+	}
+	seen := make(map[rowKey]bool)
 	for i := range cands {
 		for j := i + 1; j < len(cands); j++ {
 			a, b := geom.Map(cands[i].pte), geom.Map(cands[j].pte)
@@ -179,6 +217,10 @@ func PlanEscalation(m *machine.Machine) (*EscalationPlan, error) {
 				continue
 			}
 			victimRow := loLoc.Row + 1
+			key := rowKey{loLoc.Channel, loLoc.Rank, loLoc.Bank, victimRow}
+			if seen[key] {
+				continue
+			}
 			start, rowBytes := geom.RowRange(loLoc.Channel, loLoc.Rank, loLoc.Bank, victimRow)
 
 			// Which regions' leaf tables live in the victim row, and is
@@ -194,45 +236,85 @@ func PlanEscalation(m *machine.Machine) (*EscalationPlan, error) {
 			if sprayable == 0 {
 				continue
 			}
-
-			plan := &EscalationPlan{
-				Pair: ImplicitPair{
-					VA1: lo.va, VA2: hi.va,
-					PTE1: lo.pte, PTE2: hi.pte,
-					Loc1: loLoc, Loc2: hiLoc,
-					VictimRow: victimRow,
-				},
-				VictimRegions: victims,
-				Sprayable:     sprayable,
-				ptOf:          ptOf,
-			}
-			// Spray: map every page of the victim regions so their
-			// tables fill with present PTEs — the flip targets.
-			for _, base := range victims {
-				plan.Spray = regionPages(base, plan.Spray)
-			}
-			for _, va := range plan.Spray {
-				m.Load(va)
-			}
-			// Exclude from eviction streams every page whose leaf PT
-			// sits in [aggressor low row - 1, aggressor high row + 1] of
-			// the hammered bank: those tables hold all the entries a
-			// flip could conceivably corrupt (the victim row by design,
-			// its neighbours under drift), and a corrupted stream
-			// translation could resolve anywhere.
-			for _, c := range cands {
-				loc := geom.Map(c.pte)
-				if sameBank(loc, loLoc) && loc.Row+1 >= loLoc.Row && loc.Row <= hiLoc.Row+1 {
-					plan.Exclude = regionPages(c.va, plan.Exclude)
-				}
-			}
-			if err := plan.pickThrash(m, geom, loLoc, hiLoc); err != nil {
-				return nil, err
-			}
-			return plan, nil
+			seen[key] = true
+			p.pairs = append(p.pairs, pairCand{
+				lo: lo, hi: hi, loLoc: loLoc, hiLoc: hiLoc,
+				victimRow: victimRow, victims: victims, sprayable: sprayable,
+			})
 		}
 	}
-	return nil, fmt.Errorf("bench: no sprayable aggressor pair within %d regions", escalationSeedRegions)
+	if len(p.pairs) == 0 {
+		return nil, fmt.Errorf("bench: no sprayable aggressor pair within %d regions", escalationSeedRegions)
+	}
+	// Rank by jackpot surface, largest first; the enumeration order is
+	// deterministic, so a stable sort pins the full order per machine.
+	sort.SliceStable(p.pairs, func(i, j int) bool {
+		return p.pairs[i].sprayable > p.pairs[j].sprayable
+	})
+	return p, nil
+}
+
+// Remaining reports how many ranked pairs Next has not yet laid out.
+func (p *EscalationPlanner) Remaining() int { return len(p.pairs) - p.next }
+
+// Next lays out the attack on the next-best ranked pair: sprays the
+// victim regions, computes the eviction-stream exclusion set, and
+// premaps a TLB-thrash region. It returns an error once the ranking is
+// exhausted — the driver's signal that no replan tier is left.
+func (p *EscalationPlanner) Next() (*EscalationPlan, error) {
+	if p.next >= len(p.pairs) {
+		return nil, fmt.Errorf("bench: candidate aggressor pairs exhausted after %d", len(p.pairs))
+	}
+	pc := p.pairs[p.next]
+	p.next++
+
+	plan := &EscalationPlan{
+		Pair: ImplicitPair{
+			VA1: pc.lo.va, VA2: pc.hi.va,
+			PTE1: pc.lo.pte, PTE2: pc.hi.pte,
+			Loc1: pc.loLoc, Loc2: pc.hiLoc,
+			VictimRow: pc.victimRow,
+		},
+		VictimRegions: pc.victims,
+		Sprayable:     pc.sprayable,
+		ptOf:          p.ptOf,
+		// Spray: map every page of the victim regions so their tables
+		// fill with present PTEs — the flip targets.
+		Spray: make([]phys.Addr, 0, len(pc.victims)*int(pagetable.Span(2)/phys.FrameSize)),
+	}
+	for _, base := range pc.victims {
+		plan.Spray = regionPages(base, plan.Spray)
+	}
+	for _, va := range plan.Spray {
+		p.m.Load(va)
+	}
+	// Exclude from eviction streams every page whose leaf PT sits in
+	// [aggressor low row - 1, aggressor high row + 1] of the hammered
+	// bank: those tables hold all the entries a flip could conceivably
+	// corrupt (the victim row by design, its neighbours under drift),
+	// and a corrupted stream translation could resolve anywhere.
+	for _, c := range p.cands {
+		loc := p.geom.Map(c.pte)
+		if sameBank(loc, pc.loLoc) && loc.Row+1 >= pc.loLoc.Row && loc.Row <= pc.hiLoc.Row+1 {
+			plan.Exclude = regionPages(c.va, plan.Exclude)
+		}
+	}
+	if err := plan.pickThrash(p.m, p.geom, pc.loLoc, pc.hiLoc); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// PlanEscalation lays out the attack on a fresh machine using the
+// top-ranked aggressor pair — the single-shot entry the demo and the
+// flip-rate tables use. The budgeted driver keeps the planner instead,
+// so it can fall back to later-ranked pairs.
+func PlanEscalation(m *machine.Machine) (*EscalationPlan, error) {
+	p, err := NewEscalationPlanner(m)
+	if err != nil {
+		return nil, err
+	}
+	return p.Next()
 }
 
 // pickThrash premaps the TLB-scrub region: one full 2 MiB region (512
@@ -403,6 +485,15 @@ func RunEscalation(m *machine.Machine, h *ImplicitHammer, plan *EscalationPlan, 
 	window := timing.Cycles(m.Config().DRAM.RefreshWindow)
 	nextScan := start + window
 	rejected := make(map[rejection]bool)
+	// Incremental detection: a window in which the model recorded no new
+	// flip cannot have changed any translation, so the attacker skips
+	// the rescan entirely. A real attacker gets the same signal for free
+	// — the previous scan's translations are re-checked only after the
+	// timing of a hammer iteration hiccups — and the demo keeps its
+	// budget honest by only paying thrash + Translate traffic for
+	// windows that might have produced damage.
+	scannedFlips := flips0
+	rescan := false // a rejected exploit may have left another divergence
 	for it := uint64(0); it < maxIters; it++ {
 		h.HammerOnce(m)
 		res.Iterations = it + 1
@@ -413,15 +504,21 @@ func RunEscalation(m *machine.Machine, h *ImplicitHammer, plan *EscalationPlan, 
 		if window == 0 || m.Clock().Now() < nextScan {
 			continue
 		}
-		va, table, ok := plan.scan(m, rejected)
 		for nextScan <= m.Clock().Now() {
 			nextScan += window
 		}
+		if len(model.Flips()) == scannedFlips && !rescan {
+			continue
+		}
+		scannedFlips = len(model.Flips())
+		rescan = false
+		va, table, ok := plan.scan(m, rejected)
 		if !ok {
 			continue
 		}
 		if err := plan.exploit(m, va, table, &res); err != nil {
 			rejected[rejection{va, table}] = true
+			rescan = true
 			continue
 		}
 		res.Windows = model.Windows() - windows0

@@ -206,3 +206,39 @@ func TestRunFlipRateDeterministicAndOrdered(t *testing.T) {
 		t.Fatalf("rate = %v, want positive", a1.FlipsPerMillionIters())
 	}
 }
+
+// TestEscalationPlannerRanksPairs pins the contract the replan tier
+// depends on: the demo machine exposes several viable aggressor pairs,
+// ranked by sprayable-table count, on distinct victim rows, and the
+// planner reports exhaustion with an error rather than repeating one.
+func TestEscalationPlannerRanksPairs(t *testing.T) {
+	model := flip.MustNewModel(flip.ClassA(), escalationSeed)
+	m := machine.MustNew(EscalationConfig(model))
+	planner, err := NewEscalationPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planner.Remaining() < 2 {
+		t.Fatalf("only %d candidate pairs — the replan tier would be dead code", planner.Remaining())
+	}
+	rows := make(map[uint64]bool)
+	lastSprayable := -1
+	for planner.Remaining() > 0 {
+		plan, err := planner.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := plan.Pair.Loc1.Row + 1
+		if rows[row] {
+			t.Fatalf("victim row %d planned twice", row)
+		}
+		rows[row] = true
+		if lastSprayable >= 0 && plan.Sprayable > lastSprayable {
+			t.Fatalf("ranking not by sprayable count: %d after %d", plan.Sprayable, lastSprayable)
+		}
+		lastSprayable = plan.Sprayable
+	}
+	if _, err := planner.Next(); err == nil {
+		t.Fatal("exhausted planner handed out another plan")
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"pthammer/internal/dram"
 	"pthammer/internal/evset"
+	"pthammer/internal/fault"
 	"pthammer/internal/flip"
 	"pthammer/internal/machine"
 	"pthammer/internal/mem"
@@ -44,6 +45,8 @@ func newMachine() *machine.Machine {
 //	implicit-hammer-priv privileged baseline: invlpg + clflush + load
 //	pte-flip-escalation  full attack: hammer until a PTE flips, detect,
 //	                     rewrite own PTEs through the corrupted mapping
+//	resilient-escalation budgeted driver recovering from a mid-run
+//	                     aggressor-pair invalidation via replanning
 //	cold-load-sweep      stride past cache and TLB reach, full-miss loads
 //	tlb-thrash           page stride past sTLB reach, walk-heavy loads
 //	loadn-batch-64       batched LoadN over a reused result buffer
@@ -143,6 +146,27 @@ func Scenarios() []Scenario {
 				for i := 0; i < b.N; i++ {
 					if _, err := RunEscalationDemo(flip.ClassA(), 1, 500_000); err != nil {
 						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			// The robustness tentpole measured as one op: the budgeted
+			// escalation driver recovering from a mid-run aggressor-pair
+			// invalidation by replanning onto the next-ranked pair. Seed
+			// 2 is the fixture whose fault actually fires (the armed row
+			// goes dead and tier 2 engages). Not steady-state: each op
+			// builds a whole machine and attack.
+			Name: "resilient-escalation",
+			Run: func(b *testing.B) {
+				fc := &fault.Config{Class: fault.PairInvalidate}
+				for i := 0; i < b.N; i++ {
+					v, err := RunEscalationResilient(flip.ClassA(), 2, fc, DefaultBudget())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !v.Success || v.Replans == 0 {
+						b.Fatalf("driver did not recover via replan: %+v", v)
 					}
 				}
 			},

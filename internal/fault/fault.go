@@ -1,0 +1,416 @@
+// Package fault is the deterministic fault-injection layer: the
+// component that makes the simulated attack fail the way real PThammer
+// runs fail, so the escalation driver can be proven to diagnose and
+// recover instead of assuming the golden path. Each Model simulates one
+// adversity class at the seam where the real failure lives:
+//
+//   - eviction-decay — system noise degrades the measured eviction
+//     sets: during bursts, members of every Prime stream are dropped
+//     and the walk order rotates, so a minimal set intermittently stops
+//     evicting and hammer pressure dips below the threshold;
+//   - threshold-drift — thermal/contention drift perturbs timed
+//     probes, so the latency thresholds Algorithm 1 calibrated no
+//     longer sit cleanly between the cached and evicted populations;
+//   - trr-suppress — an in-DRAM TRR-style sampler intercepts a
+//     fraction of disturbance attempts before they can flip a cell
+//     (rate 1.0 models a perfect mitigation: the module never flips);
+//   - flip-misland — flips land outside the sprayed PTE surface: a
+//     fraction of disturbance attempts are redirected onto a row of
+//     attacker-owned (unsprayed) frames, wasting the damage;
+//   - pair-invalidate — the OS invalidates the planned aggressor pair
+//     mid-run (table migration/remap): once armed, every disturbance
+//     attempt against the first victim row seen is suppressed, so only
+//     replanning onto a different pair makes progress again.
+//
+// Like flip.Model, a fault Model is probabilistic but fully
+// deterministic per seed, is bound to exactly one machine
+// (machine.Config.FaultModel), and costs nothing when unset: every
+// hook sits behind a nil check the hot path caches. The counters in
+// Stats are the ground truth a Verdict reports as "faults observed".
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pthammer/internal/dram"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+)
+
+// Class names one adversity class. The zero value is invalid: a Model
+// always injects exactly one class (compose by running the seed matrix
+// across classes, not by stacking models).
+type Class string
+
+// The fault classes, one per attack-path seam.
+const (
+	EvictionDecay  Class = "eviction-decay"
+	ThresholdDrift Class = "threshold-drift"
+	TRRSuppress    Class = "trr-suppress"
+	FlipMisland    Class = "flip-misland"
+	PairInvalidate Class = "pair-invalidate"
+)
+
+// Classes returns every fault class, in seam order.
+func Classes() []Class {
+	return []Class{EvictionDecay, ThresholdDrift, TRRSuppress, FlipMisland, PairInvalidate}
+}
+
+// Config fixes one fault class and its knobs. The zero value of every
+// knob selects the class's default; only Class and Seed are required.
+type Config struct {
+	Class Class
+	// Seed drives the model's private random stream; the injected fault
+	// sequence is a pure function of (Config, access sequence).
+	Seed int64
+
+	// eviction-decay: during a burst, each Prime-stream member is
+	// dropped with probability DropRate and the walk order rotates by a
+	// random offset. Bursts alternate with quiet stretches, counted in
+	// Prime calls, starting quiet (so initial eviction-set construction
+	// measures an honest machine and the decay hits the sets it built).
+	DropRate    float64
+	BurstPrimes uint64
+	QuietPrimes uint64
+
+	// threshold-drift: each timed probe is inflated by a uniform spike
+	// in [1, DriftMax] cycles with probability DriftProb. Spikes only
+	// add latency, mirroring real contention.
+	DriftProb float64
+	DriftMax  timing.Cycles
+
+	// trr-suppress: each disturbance attempt is intercepted with
+	// probability SuppressRate; 1.0 is a perfect in-DRAM mitigation.
+	SuppressRate float64
+
+	// flip-misland: each disturbance attempt is redirected with
+	// probability MislandRate onto the row MislandRows away (same bank,
+	// same column) — attacker-owned frames outside the sprayed PTE
+	// surface; 1.0 means no flip ever lands where it is exploitable.
+	MislandRate float64
+	MislandRows uint64
+
+	// pair-invalidate: the first victim row the flip engine reports is
+	// the armed pair; once TriggerWindows end-of-window reports have
+	// passed since arming, every attempt against that row is suppressed.
+	TriggerWindows uint64
+}
+
+// WithDefaults returns the config with zero-valued knobs replaced by
+// the class defaults (tuned so every class is observable on the
+// escalation demo machine without being a foregone conclusion).
+func (c Config) WithDefaults() Config {
+	if c.DropRate == 0 {
+		c.DropRate = 0.3
+	}
+	if c.BurstPrimes == 0 {
+		c.BurstPrimes = 2500
+	}
+	if c.QuietPrimes == 0 {
+		c.QuietPrimes = 4000
+	}
+	if c.DriftProb == 0 {
+		c.DriftProb = 0.25
+	}
+	if c.DriftMax == 0 {
+		c.DriftMax = 400
+	}
+	if c.SuppressRate == 0 {
+		c.SuppressRate = 0.5
+	}
+	if c.MislandRate == 0 {
+		c.MislandRate = 0.5
+	}
+	if c.MislandRows == 0 {
+		c.MislandRows = 8
+	}
+	if c.TriggerWindows == 0 {
+		c.TriggerWindows = 8
+	}
+	return c
+}
+
+// Validate reports an error for an unknown class or an out-of-range
+// knob (after defaults are applied).
+func (c Config) Validate() error {
+	switch c.Class {
+	case EvictionDecay, ThresholdDrift, TRRSuppress, FlipMisland, PairInvalidate:
+	default:
+		return fmt.Errorf("fault: unknown class %q", string(c.Class))
+	}
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"drop rate", c.DropRate},
+		{"drift probability", c.DriftProb},
+		{"suppress rate", c.SuppressRate},
+		{"misland rate", c.MislandRate},
+	}
+	for _, r := range rates {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s: %s %v outside [0,1]", c.Class, r.name, r.v)
+		}
+	}
+	return nil
+}
+
+// Stats counts the faults a model actually injected — the "faults
+// observed" a Verdict carries, and what tests assert to prove a class
+// really fired.
+type Stats struct {
+	// PrimesFaulted counts Prime calls issued during a decay burst;
+	// MembersDropped the stream members those bursts swallowed.
+	PrimesFaulted  uint64
+	MembersDropped uint64
+	// ProbesPerturbed counts timed probes that took a drift spike.
+	ProbesPerturbed uint64
+	// AttemptsSuppressed counts disturbance attempts the TRR sampler or
+	// an invalidated pair intercepted.
+	AttemptsSuppressed uint64
+	// FlipsRedirected counts disturbance attempts sent to a mislanded
+	// row.
+	FlipsRedirected uint64
+	// PairsInvalidated is 1 once the armed pair's trigger has passed.
+	PairsInvalidated uint64
+}
+
+// Total is the aggregate fault count across every seam.
+func (s Stats) Total() uint64 {
+	return s.MembersDropped + s.ProbesPerturbed + s.AttemptsSuppressed +
+		s.FlipsRedirected + s.PairsInvalidated
+}
+
+// Model injects one fault class into one machine. Create it with
+// NewModel, hand it to machine.Config.FaultModel (which binds it to the
+// machine's DRAM geometry and subscribes it to the flip engine's
+// injection points), and read the injected-fault counts back with
+// Stats.
+type Model struct {
+	cfg Config
+	rng *rand.Rand
+
+	geom  dram.Config
+	bound bool
+
+	stats Stats
+
+	// Eviction-decay burst bookkeeping: primes counts every Prime call,
+	// inBurst caches whether the current call sits in a burst.
+	primes  uint64
+	inBurst bool
+
+	// Pair-invalidate arming: the row where the first recorded flip
+	// landed, and the window count at which suppression engages.
+	armed                        bool
+	armedChannel, armedRank      int
+	armedBank                    int
+	armedRow                     uint64
+	armedAtWindow, currentWindow uint64
+}
+
+// NewModel validates the config (after applying class defaults) and
+// builds an unbound model.
+func NewModel(cfg Config) (*Model, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// MustNewModel is NewModel but panics on error.
+func MustNewModel(cfg Config) *Model {
+	m, err := NewModel(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the model's config with defaults applied.
+func (m *Model) Config() Config { return m.cfg }
+
+// Class returns the injected fault class.
+func (m *Model) Class() Class { return m.cfg.Class }
+
+// Stats returns the counts of faults injected so far.
+func (m *Model) Stats() Stats { return m.stats }
+
+// Bind attaches the model to one machine's DRAM geometry (needed to
+// relocate mislanded flips). The machine facade calls it during
+// construction; binding twice is an error because the model's random
+// stream must belong to exactly one simulated run.
+func (m *Model) Bind(geom dram.Config) error {
+	if m.bound {
+		return fmt.Errorf("fault: model already bound to a machine")
+	}
+	if err := geom.Validate(); err != nil {
+		return err
+	}
+	m.geom = geom
+	m.bound = true
+	return nil
+}
+
+// PrimeStart is the machine's pre-Prime hook: it advances the decay
+// burst cycle and returns the rotation offset the stream should start
+// from (0 outside bursts — the stream walks in build order). n is the
+// stream length.
+//
+//pthammer:noalloc
+func (m *Model) PrimeStart(n int) int {
+	if m.cfg.Class != EvictionDecay || n == 0 {
+		return 0
+	}
+	period := m.cfg.QuietPrimes + m.cfg.BurstPrimes
+	m.inBurst = m.primes%period >= m.cfg.QuietPrimes
+	m.primes++
+	if !m.inBurst {
+		return 0
+	}
+	m.stats.PrimesFaulted++
+	return m.rng.Intn(n)
+}
+
+// DropMember is the machine's per-member hook: inside a decay burst it
+// drops the member with the configured probability.
+//
+//pthammer:noalloc
+func (m *Model) DropMember() bool {
+	if m.cfg.Class != EvictionDecay || !m.inBurst {
+		return false
+	}
+	if m.rng.Float64() >= m.cfg.DropRate {
+		return false
+	}
+	m.stats.MembersDropped++
+	return true
+}
+
+// ProbeJitter is the machine's timed-probe hook: under threshold drift
+// it returns the extra cycles to inflate this probe by (0 otherwise).
+// The machine charges the spike to the shared clock so the
+// clock/latency/PMC agreement invariant holds under drift too.
+//
+//pthammer:noalloc
+func (m *Model) ProbeJitter() timing.Cycles {
+	if m.cfg.Class != ThresholdDrift {
+		return 0
+	}
+	if m.rng.Float64() >= m.cfg.DriftProb {
+		return 0
+	}
+	m.stats.ProbesPerturbed++
+	return 1 + timing.Cycles(m.rng.Int63n(int64(m.cfg.DriftMax)))
+}
+
+// OnWindow is the flip engine's window tick (flip.Injector): it drives
+// the pair-invalidate trigger clock.
+func (m *Model) OnWindow(window uint64) {
+	m.currentWindow = window
+	if m.cfg.Class == PairInvalidate && m.armed &&
+		m.stats.PairsInvalidated == 0 &&
+		window >= m.armedAtWindow+m.cfg.TriggerWindows {
+		m.stats.PairsInvalidated = 1
+	}
+}
+
+// SuppressAttempt is the flip engine's per-attempt hook
+// (flip.Injector): it reports whether this disturbance attempt is
+// intercepted before it can flip anything. TRR suppression samples
+// uniformly; pair invalidation arms on the first victim row reported
+// and, once the trigger window count has passed, kills every attempt
+// against that row (a replanned pair hammers a different row and is
+// unaffected).
+func (m *Model) SuppressAttempt(v dram.Victim) bool {
+	switch m.cfg.Class {
+	case TRRSuppress:
+		if m.rng.Float64() < m.cfg.SuppressRate {
+			m.stats.AttemptsSuppressed++
+			return true
+		}
+	case PairInvalidate:
+		if m.stats.PairsInvalidated > 0 &&
+			v.Channel == m.armedChannel && v.Rank == m.armedRank &&
+			v.Bank == m.armedBank && v.Row == m.armedRow {
+			m.stats.AttemptsSuppressed++
+			return true
+		}
+	}
+	return false
+}
+
+// ObserveFlip is the flip engine's post-flip hook (flip.Injector):
+// pair invalidation arms on the first recorded disturbance error — the
+// simulated OS's ECC patrol spotting a corrupted page table — and,
+// TriggerWindows windows later, has migrated the table away: every
+// further attempt against that row is suppressed. Flips the patrol
+// never sees (suppressed or vanished attempts) never arm it.
+func (m *Model) ObserveFlip(v dram.Victim) {
+	if m.cfg.Class != PairInvalidate || m.armed {
+		return
+	}
+	m.armed = true
+	m.armedChannel, m.armedRank, m.armedBank = v.Channel, v.Rank, v.Bank
+	m.armedRow = v.Row
+	m.armedAtWindow = m.currentWindow
+}
+
+// RedirectFlip is the flip engine's cell-address hook (flip.Injector):
+// under flip-misland it relocates the candidate cell onto the row
+// MislandRows away in the same bank (same column), reflecting off the
+// top of the bank when the offset runs out of rows. ok is false when
+// the attempt stays where the disturbance put it.
+func (m *Model) RedirectFlip(addr phys.Addr, bit uint) (phys.Addr, uint, bool) {
+	if m.cfg.Class != FlipMisland || !m.bound {
+		return addr, bit, false
+	}
+	if m.rng.Float64() >= m.cfg.MislandRate {
+		return addr, bit, false
+	}
+	loc := m.geom.Map(addr)
+	if loc.Row+m.cfg.MislandRows < m.geom.Rows {
+		loc.Row += m.cfg.MislandRows
+	} else {
+		loc.Row -= m.cfg.MislandRows
+	}
+	m.stats.FlipsRedirected++
+	return m.geom.AddrOf(loc), bit, true
+}
+
+// Scenario is one named cell of the robustness matrix: a fault config
+// (nil for the fault-free control) plus whether the budgeted escalation
+// driver is expected to recover from it. The matrix is shared by the
+// cmd/pthammer-flip robustness table and the CI seed-matrix job so they
+// can never test different classes.
+type Scenario struct {
+	Name string
+	// Recoverable marks classes the driver must route around (CI
+	// asserts a success-rate floor); unrecoverable classes must instead
+	// produce a structured abort within budget on every seed.
+	Recoverable bool
+	// Config is nil for the fault-free control row.
+	Config *Config
+}
+
+// Matrix returns the standard robustness matrix: the fault-free
+// control, every class at its recoverable defaults, and the two
+// perfect-mitigation variants no attacker can beat (suppress-all,
+// misland-all). Seed is left zero; runners stamp the per-run seed.
+func Matrix() []Scenario {
+	return []Scenario{
+		{Name: "none", Recoverable: true, Config: nil},
+		{Name: string(EvictionDecay), Recoverable: true, Config: &Config{Class: EvictionDecay}},
+		{Name: string(ThresholdDrift), Recoverable: true, Config: &Config{Class: ThresholdDrift}},
+		{Name: string(TRRSuppress), Recoverable: true, Config: &Config{Class: TRRSuppress}},
+		{Name: string(FlipMisland), Recoverable: true, Config: &Config{Class: FlipMisland}},
+		{Name: string(PairInvalidate), Recoverable: true, Config: &Config{Class: PairInvalidate}},
+		{Name: string(TRRSuppress) + "-all", Recoverable: false, Config: &Config{Class: TRRSuppress, SuppressRate: 1}},
+		{Name: string(FlipMisland) + "-all", Recoverable: false, Config: &Config{Class: FlipMisland, MislandRate: 1}},
+	}
+}

@@ -95,6 +95,29 @@ func Profiles() []Profile {
 	return []Profile{ClassA(), ClassB(), ClassC()}
 }
 
+// Injector is the fault-injection seam the flip engine offers
+// (implemented by fault.Model; declared here so flip does not import
+// fault). The machine facade wires a configured fault model into the
+// flip model at construction; with no injector every hook is skipped
+// and the engine behaves exactly as before.
+type Injector interface {
+	// OnWindow ticks once per end-of-window victim report, after the
+	// window counter advances — the injector's only clock.
+	OnWindow(window uint64)
+	// SuppressAttempt reports whether one disturbance attempt against
+	// this victim is intercepted before it can flip anything
+	// (TRR-sampler style, or an invalidated aggressor pair). A
+	// suppressed attempt is not counted: it never physically happened.
+	SuppressAttempt(v dram.Victim) bool
+	// RedirectFlip may relocate a candidate cell (mislanded flip); ok
+	// is false when the attempt stays put.
+	RedirectFlip(addr phys.Addr, bit uint) (phys.Addr, uint, bool)
+	// ObserveFlip sees every recorded disturbance error, located at the
+	// row the flip actually landed in — the signal pair invalidation
+	// arms on (the simulated OS detecting a corrupted table).
+	ObserveFlip(v dram.Victim)
+}
+
 // Flip is one recorded disturbance error.
 type Flip struct {
 	// Addr and Bit locate the flipped cell in physical memory.
@@ -127,6 +150,7 @@ type Model struct {
 
 	mem  *phys.Memory
 	geom dram.Config
+	inj  Injector
 
 	flips    []Flip
 	windows  uint64
@@ -180,6 +204,20 @@ func (m *Model) Bind(mem *phys.Memory, geom dram.Config) error {
 	return nil
 }
 
+// SetInjector subscribes a fault injector to the model's hooks. Like
+// Bind it is one-shot: the injector's random stream pairs with this
+// model's for the lifetime of one simulated run.
+func (m *Model) SetInjector(inj Injector) error {
+	if inj == nil {
+		return fmt.Errorf("flip: set-injector needs an injector")
+	}
+	if m.inj != nil {
+		return fmt.Errorf("flip: model already has an injector")
+	}
+	m.inj = inj
+	return nil
+}
+
 // OnWindow consumes one end-of-refresh-window report — the dram window
 // hook the machine subscribes for a configured model. For every victim
 // row it samples AttemptsPerWindow candidate cells (uniform byte + bit
@@ -192,15 +230,30 @@ func (m *Model) OnWindow(s dram.Stats) {
 		panic("flip: OnWindow on an unbound model")
 	}
 	m.windows++
+	if m.inj != nil {
+		m.inj.OnWindow(m.windows)
+	}
 	for _, v := range s.Victims {
 		// Victims always meet the threshold; +1 keeps a row hammered to
 		// exactly the threshold at a small non-zero flip probability
 		// (the threshold is where first flips appear, not where they
-		// are still impossible).
-		excess := v.Pressure - m.geom.HammerThreshold + 1
-		p := 1 - math.Exp(-float64(excess)/m.profile.ExcessScale)
+		// are still impossible). A non-positive ramp scale means the
+		// probability has no ramp at all: every attempt past the
+		// threshold flips (guards the division — Validate rejects such
+		// profiles, but the model must stay total on any it is handed).
+		p := 1.0
+		if m.profile.ExcessScale > 0 {
+			excess := v.Pressure - m.geom.HammerThreshold + 1
+			p = 1 - math.Exp(-float64(excess)/m.profile.ExcessScale)
+		}
 		start, rowBytes := m.geom.RowRange(v.Channel, v.Rank, v.Bank, v.Row)
 		for i := 0; i < m.profile.AttemptsPerWindow; i++ {
+			// A suppressed attempt never physically happened (the
+			// mitigation refreshed the victim before disturbance), so it
+			// is not an attempt and not a miss.
+			if m.inj != nil && m.inj.SuppressAttempt(v) {
+				continue
+			}
 			m.attempts++
 			if m.rng.Float64() >= p {
 				m.misses++
@@ -209,6 +262,16 @@ func (m *Model) OnWindow(s dram.Stats) {
 			addr := start + phys.Addr(m.rng.Uint64()%rowBytes)
 			bit := uint(m.rng.Intn(8))
 			oneToZero := m.rng.Float64() < m.profile.OneToZeroBias
+			loc := v
+			if m.inj != nil {
+				if raddr, rbit, ok := m.inj.RedirectFlip(addr, bit); ok {
+					// Mislanded flip: the disturbance damaged a cell
+					// outside the victim row; record where it really hit.
+					addr, bit = raddr, rbit
+					l := m.geom.Map(addr)
+					loc.Channel, loc.Rank, loc.Bank, loc.Row = l.Channel, l.Rank, l.Bank, l.Row
+				}
+			}
 			var source byte
 			if oneToZero {
 				source = 1
@@ -226,9 +289,12 @@ func (m *Model) OnWindow(s dram.Stats) {
 			}
 			m.flips = append(m.flips, Flip{
 				Addr: addr, Bit: bit, OneToZero: oneToZero,
-				Channel: v.Channel, Rank: v.Rank, Bank: v.Bank, Row: v.Row,
+				Channel: loc.Channel, Rank: loc.Rank, Bank: loc.Bank, Row: loc.Row,
 				Pressure: v.Pressure, Window: m.windows,
 			})
+			if m.inj != nil {
+				m.inj.ObserveFlip(loc)
+			}
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package flip
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -262,5 +263,60 @@ func TestClassOrdering(t *testing.T) {
 	a, b, c := count(ClassA()), count(ClassB()), count(ClassC())
 	if a < b || b < c || a <= c {
 		t.Fatalf("class flip counts A=%d B=%d C=%d, want A ≥ B ≥ C and A > C", a, b, c)
+	}
+}
+
+// TestEmptyWindowsAdvanceOnly: a victim report with no victims (a
+// refresh window in which nothing crossed the hammer threshold) still
+// ticks the window counter — the escalation drivers key their scans
+// off it — but samples no cells at all.
+func TestEmptyWindowsAdvanceOnly(t *testing.T) {
+	m, _ := boundModel(t, hotProfile(), 7)
+	for w := 0; w < 100; w++ {
+		m.OnWindow(dram.Stats{})
+	}
+	if got := m.Windows(); got != 100 {
+		t.Fatalf("windows = %d, want 100", got)
+	}
+	if m.Attempts() != 0 || m.Misses() != 0 || len(m.Flips()) != 0 {
+		t.Fatalf("empty windows did work: attempts=%d misses=%d flips=%d",
+			m.Attempts(), m.Misses(), len(m.Flips()))
+	}
+}
+
+// TestRampScaleZeroMeansCertainFlips: Validate rejects a non-positive
+// ExcessScale, but the model must stay total on any profile it is
+// handed — the guard collapses the probability ramp to p = 1, so on a
+// fully 1-charged row with full 1→0 bias every attempt flips (up to
+// deterministic cell collisions, which re-roll as source misses).
+func TestRampScaleZeroMeansCertainFlips(t *testing.T) {
+	p := Profile{Name: "degenerate", AttemptsPerWindow: 16, ExcessScale: 0, OneToZeroBias: 1}
+	geom := testGeom()
+	mem := phys.MustNew(geom.Capacity())
+	m := &Model{profile: p, seed: 11, rng: rand.New(rand.NewSource(11))}
+	if err := m.Bind(mem, geom); err != nil {
+		t.Fatal(err)
+	}
+	fillRow(mem, geom, 9, 0xFF)
+	// Pressure exactly at threshold: any positive scale would make
+	// flips rare here; the guard makes them certain.
+	m.OnWindow(victimReport(9, geom.HammerThreshold))
+	flips := len(m.Flips())
+	if uint64(flips)+m.Misses() != m.Attempts() {
+		t.Fatalf("accounting broken: %d flips + %d misses != %d attempts",
+			flips, m.Misses(), m.Attempts())
+	}
+	if flips != p.AttemptsPerWindow {
+		// The only legal misses are attempts that re-drew an
+		// already-flipped cell; those cells must now hold 0.
+		for _, f := range m.Flips() {
+			if mem.Bit(f.Addr, f.Bit) != 0 {
+				t.Fatalf("recorded flip at %#x bit %d did not discharge", uint64(f.Addr), f.Bit)
+			}
+		}
+		if m.Misses() == 0 || flips == 0 {
+			t.Fatalf("scale-0 window: %d flips, %d misses over %d attempts",
+				flips, m.Misses(), m.Attempts())
+		}
 	}
 }

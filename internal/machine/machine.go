@@ -20,6 +20,7 @@ import (
 
 	"pthammer/internal/cache"
 	"pthammer/internal/dram"
+	"pthammer/internal/fault"
 	"pthammer/internal/flip"
 	"pthammer/internal/mem"
 	"pthammer/internal/pagetable"
@@ -61,6 +62,15 @@ type Config struct {
 	// bits (read the damage back with Flips). Nil — the default — keeps
 	// memory ideal: hammering is detected but never corrupts.
 	FlipModel *flip.Model
+
+	// FaultModel, when non-nil, is the adversity engine: New binds it to
+	// this machine's DRAM geometry, hooks it into the Prime/Probe paths,
+	// and (when a FlipModel is also configured) subscribes it to the
+	// flip engine's injection points, so the attack path can be
+	// exercised under the fault classes in internal/fault. Nil — the
+	// default — costs nothing: like the noise sampler, the hot paths
+	// cache its absence and skip every hook.
+	FaultModel *fault.Model
 }
 
 // SandyBridge returns a preset modelled on the paper's Sandy
@@ -107,8 +117,10 @@ type Machine struct {
 	dram   *dram.DRAM
 
 	// noisy caches NoiseProb != 0 so the quiet (deterministic) hot path
-	// skips the noise sampler entirely.
-	noisy bool
+	// skips the noise sampler entirely; faulty does the same for the
+	// fault-injection hooks.
+	noisy  bool
+	faulty bool
 
 	// privFlushes/privInvlpgs count the kernel-only operations issued on
 	// this machine. PThammer's attacker has neither clflush on kernel
@@ -177,14 +189,24 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Bind the flip model last: Bind is one-shot, and binding before a
-	// later constructor could fail would poison the model for a retried
-	// New with a corrected config.
+	// Bind the flip and fault models last: Bind is one-shot, and binding
+	// before a later constructor could fail would poison the model for a
+	// retried New with a corrected config.
 	if cfg.FlipModel != nil {
 		if err := cfg.FlipModel.Bind(pmem, cfg.DRAM); err != nil {
 			return nil, err
 		}
 		d.SetWindowHook(cfg.FlipModel.OnWindow)
+	}
+	if cfg.FaultModel != nil {
+		if err := cfg.FaultModel.Bind(cfg.DRAM); err != nil {
+			return nil, err
+		}
+		if cfg.FlipModel != nil {
+			if err := cfg.FlipModel.SetInjector(cfg.FaultModel); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return &Machine{
 		cfg:      cfg,
@@ -198,6 +220,7 @@ func New(cfg Config) (*Machine, error) {
 		caches:   caches,
 		dram:     d,
 		noisy:    cfg.NoiseProb != 0,
+		faulty:   cfg.FaultModel != nil,
 	}, nil
 }
 
@@ -345,9 +368,40 @@ func (m *Machine) LoadN(addrs []phys.Addr, out []mem.Result) []mem.Result {
 //
 //pthammer:noalloc
 func (m *Machine) Prime(addrs []phys.Addr) timing.Cycles {
+	if m.faulty {
+		return m.primeFaulted(addrs)
+	}
 	var total timing.Cycles
 	for _, a := range addrs {
 		total += m.Load(a).Latency
+	}
+	return total
+}
+
+// primeFaulted is Prime under a fault model: the model may rotate the
+// walk order (system activity reordering the access stream) and drop
+// individual members (the line/translation got re-fetched between the
+// drop and the measurement). Off the quiet path this is behaviourally
+// identical to Prime — every hook returns its zero fast-path value.
+//
+//pthammer:noalloc
+func (m *Machine) primeFaulted(addrs []phys.Addr) timing.Cycles {
+	n := len(addrs)
+	if n == 0 {
+		return 0
+	}
+	fm := m.cfg.FaultModel
+	start := fm.PrimeStart(n)
+	var total timing.Cycles
+	for i := 0; i < n; i++ {
+		j := start + i
+		if j >= n {
+			j -= n
+		}
+		if fm.DropMember() {
+			continue
+		}
+		total += m.Load(addrs[j]).Latency
 	}
 	return total
 }
@@ -382,6 +436,15 @@ type ProbeResult struct {
 func (m *Machine) Probe(a phys.Addr) ProbeResult {
 	snap := m.counters.Snapshot()
 	res := m.Load(a)
+	if m.faulty {
+		// Threshold drift: the fault model may inflate this timed probe.
+		// The spike is charged to the shared clock so the clock-delta /
+		// Result-latency agreement invariant holds under drift too.
+		if extra := m.cfg.FaultModel.ProbeJitter(); extra > 0 {
+			m.clock.Advance(extra)
+			res.Latency += extra
+		}
+	}
 	return ProbeResult{
 		Result:       res,
 		Walked:       snap.Advanced(m.counters, perf.DTLBLoadMissesWalk),
@@ -430,6 +493,10 @@ func (m *Machine) Flips() []flip.Flip {
 // FlipModel returns the machine's disturbance-error engine, nil when
 // none was configured.
 func (m *Machine) FlipModel() *flip.Model { return m.cfg.FlipModel }
+
+// FaultModel returns the machine's fault-injection engine, nil when the
+// machine runs fault-free.
+func (m *Machine) FaultModel() *fault.Model { return m.cfg.FaultModel }
 
 // Accessors for the shared state; algorithm code reads these the way
 // the paper's tooling reads rdtsc and the PMC kernel module.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pthammer/internal/dram"
+	"pthammer/internal/fault"
 	"pthammer/internal/flip"
 	"pthammer/internal/mem"
 	"pthammer/internal/pagetable"
@@ -719,4 +720,111 @@ func mustPanicMachine(t *testing.T, name string, f func()) {
 		}
 	}()
 	f()
+}
+
+// TestFaultProbeJitterStaysConsistentWithClock: threshold-drift spikes
+// are charged to the shared clock, so the clock-delta/latency-sum
+// agreement invariant holds under drift too.
+func TestFaultProbeJitterStaysConsistentWithClock(t *testing.T) {
+	cfg := hammerConfig()
+	cfg.FaultModel = fault.MustNewModel(fault.Config{Class: fault.ThresholdDrift, Seed: 3})
+	m := MustNew(cfg)
+
+	start := m.Clock().Now()
+	var sum timing.Cycles
+	for i := 0; i < 500; i++ {
+		sum += m.Probe(phys.Addr(0x40)).Latency
+	}
+	if got := m.Clock().Now() - start; got != sum {
+		t.Fatalf("clock delta %d != probe latency sum %d", got, sum)
+	}
+	if m.FaultModel().Stats().ProbesPerturbed == 0 {
+		t.Fatal("no probe perturbed in 500 samples at default drift prob")
+	}
+}
+
+// TestFaultPrimeDecayDropsMembers: during a decay burst the Prime
+// stream loses members, visible as both the model's drop counter and a
+// cheaper total than the honest walk.
+func TestFaultPrimeDecayDropsMembers(t *testing.T) {
+	cfg := hammerConfig()
+	cfg.FaultModel = fault.MustNewModel(fault.Config{
+		Class: fault.EvictionDecay, Seed: 1, QuietPrimes: 1, BurstPrimes: 1 << 40,
+	})
+	m := MustNew(cfg)
+
+	addrs := make([]phys.Addr, 32)
+	for i := range addrs {
+		addrs[i] = phys.Addr(i) * 4096
+	}
+	if got := m.Prime(nil); got != 0 {
+		t.Fatalf("faulted Prime of empty stream charged %d cycles", got)
+	}
+	for i := 0; i < 200; i++ {
+		m.Prime(addrs)
+	}
+	s := m.FaultModel().Stats()
+	if s.MembersDropped == 0 || s.PrimesFaulted == 0 {
+		t.Fatalf("decay burst injected nothing: %+v", s)
+	}
+}
+
+// TestFaultFreeMachineHasNilModel: the default config carries no fault
+// model and the accessor says so.
+func TestFaultFreeMachineHasNilModel(t *testing.T) {
+	m := MustNew(hammerConfig())
+	if m.FaultModel() != nil {
+		t.Fatal("fault-free machine reports a fault model")
+	}
+}
+
+// TestNewRejectsBoundFaultModel: like flip models, a fault model
+// belongs to exactly one machine.
+func TestNewRejectsBoundFaultModel(t *testing.T) {
+	cfg := hammerConfig()
+	cfg.FaultModel = fault.MustNewModel(fault.Config{Class: fault.TRRSuppress, Seed: 1})
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("first machine: %v", err)
+	}
+	cfg.FlipModel = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatal("second machine accepted an already-bound fault model")
+	}
+}
+
+// TestFaultSuppressAllKillsFlips: a perfect TRR sampler (suppress rate
+// 1.0) wired through New means the flip engine records windows but
+// never a single attempt — the structural "unrecoverable" case the
+// escalation driver must turn into a budgeted abort.
+func TestFaultSuppressAllKillsFlips(t *testing.T) {
+	cfg := hammerConfig()
+	cfg.DRAM.RefreshWindow = 200_000
+	cfg.FlipModel = flip.MustNewModel(flip.ClassA(), 1)
+	cfg.FaultModel = fault.MustNewModel(fault.Config{Class: fault.TRRSuppress, Seed: 1, SuppressRate: 1})
+	m := MustNew(cfg)
+	geom := m.DRAM().Config()
+
+	above := geom.AddrOf(dram.Location{Row: 100})
+	below := geom.AddrOf(dram.Location{Row: 102})
+	victim := geom.AddrOf(dram.Location{Row: 101})
+	m.Memory().Write8(victim, 0xff)
+	for i := 0; i < 20_000; i++ {
+		m.Load(above)
+		m.Flush(above)
+		m.Load(below)
+		m.Flush(below)
+	}
+	model := m.FlipModel()
+	if model.Windows() == 0 {
+		t.Fatal("no refresh window elapsed")
+	}
+	if got := model.Attempts(); got != 0 {
+		t.Fatalf("perfect suppression let %d attempts through", got)
+	}
+	if got := m.FaultModel().Stats().AttemptsSuppressed; got == 0 {
+		t.Fatal("suppression count did not move")
+	}
+	if len(m.Flips()) != 0 {
+		t.Fatalf("flips recorded under total suppression: %d", len(m.Flips()))
+	}
 }
