@@ -163,7 +163,12 @@ func measure() []scenarioResult {
 // only in the baseline was renamed or retired. Both one-sided cases
 // are reported as notes so they are visible in CI logs without
 // failing the build that legitimately introduces them.
-func check(results []scenarioResult, baseline report, baselinePath string) (failures, notes []string) {
+//
+// compared counts the ns/op comparisons actually performed: when it is
+// zero the gate vacuously passed (the run and the baseline share no
+// steady-state scenario with a usable baseline number), which the
+// caller surfaces as a distinct warning rather than a clean pass.
+func check(results []scenarioResult, baseline report, baselinePath string) (failures, notes []string, compared int) {
 	base := make(map[string]scenarioResult, len(baseline.Scenarios))
 	for _, s := range baseline.Scenarios {
 		base[s.Name] = s
@@ -189,6 +194,7 @@ func check(results []scenarioResult, baseline report, baselinePath string) (fail
 				fmt.Sprintf("%s: baseline ns/op %.1f unusable, skipping comparison", r.Name, b.NsPerOp))
 			continue
 		}
+		compared++
 		if ratio := r.NsPerOp / b.NsPerOp; ratio > maxRegression {
 			failures = append(failures,
 				fmt.Sprintf("%s: %.1f ns/op vs %.1f in %s (%.2fx > %.2fx allowed)",
@@ -201,7 +207,7 @@ func check(results []scenarioResult, baseline report, baselinePath string) (fail
 				fmt.Sprintf("%s: in %s but no longer measured (renamed or retired?)", s.Name, baselinePath))
 		}
 	}
-	return failures, notes
+	return failures, notes, compared
 }
 
 // run is main with its environment made explicit so the error paths
@@ -240,7 +246,7 @@ func run(args []string, stdout, stderr io.Writer, measureFn func() []scenarioRes
 			fmt.Fprintln(stderr, "pthammer-bench: corrupt baseline:", err)
 			return exitBaseline
 		}
-		failures, notes := check(measureFn(), baseline, basePath)
+		failures, notes, compared := check(measureFn(), baseline, basePath)
 		for _, n := range notes {
 			fmt.Fprintln(stdout, "note:", n)
 		}
@@ -250,8 +256,15 @@ func run(args []string, stdout, stderr io.Writer, measureFn func() []scenarioRes
 			}
 			return exitRegression
 		}
-		fmt.Fprintf(stdout, "check passed: steady-state scenarios within %.0f%% of %s, 0 allocs/op\n",
-			(maxRegression-1)*100, basePath)
+		if compared == 0 {
+			// Notes explain each one-sided scenario above; this line
+			// makes the vacuous pass itself unmissable in CI logs.
+			fmt.Fprintf(stdout, "warning: no ns/op comparisons performed: the run and %s share no steady-state scenario with a usable baseline\n",
+				basePath)
+			return exitOK
+		}
+		fmt.Fprintf(stdout, "check passed: %d steady-state scenarios within %.0f%% of %s, 0 allocs/op\n",
+			compared, (maxRegression-1)*100, basePath)
 		return exitOK
 	}
 

@@ -29,7 +29,7 @@ func TestCheckDiffsOnlySharedScenarios(t *testing.T) {
 		// Non-steady scenarios are never checked at all.
 		{Name: "sweep-engine", NsPerOp: 1e9, AllocsPerOp: 500},
 	}
-	failures, notes := check(results, baseline, "BENCH_TEST.json")
+	failures, notes, compared := check(results, baseline, "BENCH_TEST.json")
 	if len(failures) != 0 {
 		t.Fatalf("unexpected failures: %v", failures)
 	}
@@ -45,6 +45,9 @@ func TestCheckDiffsOnlySharedScenarios(t *testing.T) {
 	if !sawNew || !sawRetired {
 		t.Fatalf("notes missing one-sided scenarios: %v", notes)
 	}
+	if compared != 1 {
+		t.Fatalf("compared = %d, want 1 (only warm-load is shared)", compared)
+	}
 }
 
 // TestCheckStillCatchesRegressions: the shared-scenario comparison and
@@ -52,13 +55,13 @@ func TestCheckDiffsOnlySharedScenarios(t *testing.T) {
 func TestCheckStillCatchesRegressions(t *testing.T) {
 	baseline := report{Scenarios: []scenarioResult{steadyResult("warm-load", 100, 0)}}
 
-	failures, _ := check([]scenarioResult{steadyResult("warm-load", 100*maxRegression*1.01, 0)},
+	failures, _, _ := check([]scenarioResult{steadyResult("warm-load", 100*maxRegression*1.01, 0)},
 		baseline, "BENCH_TEST.json")
 	if len(failures) != 1 || !strings.Contains(failures[0], "warm-load") {
 		t.Fatalf("ns/op regression not caught: %v", failures)
 	}
 
-	failures, _ = check([]scenarioResult{steadyResult("fresh-loop", 10, 3)}, baseline, "BENCH_TEST.json")
+	failures, _, _ = check([]scenarioResult{steadyResult("fresh-loop", 10, 3)}, baseline, "BENCH_TEST.json")
 	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
 		t.Fatalf("hot-path alloc not caught: %v", failures)
 	}
@@ -68,12 +71,46 @@ func TestCheckStillCatchesRegressions(t *testing.T) {
 // produce a ratio; it is skipped with a note, not a crash or failure.
 func TestCheckSkipsUnusableBaseline(t *testing.T) {
 	baseline := report{Scenarios: []scenarioResult{steadyResult("warm-load", 0, 0)}}
-	failures, notes := check([]scenarioResult{steadyResult("warm-load", 100, 0)}, baseline, "BENCH_TEST.json")
+	failures, notes, compared := check([]scenarioResult{steadyResult("warm-load", 100, 0)}, baseline, "BENCH_TEST.json")
 	if len(failures) != 0 {
 		t.Fatalf("unexpected failures: %v", failures)
 	}
 	if len(notes) != 1 || !strings.Contains(notes[0], "unusable") {
 		t.Fatalf("missing unusable-baseline note: %v", notes)
+	}
+	if compared != 0 {
+		t.Fatalf("compared = %d, want 0 (the only shared scenario was skipped)", compared)
+	}
+}
+
+// TestCheckWarnsOnZeroComparisons: a baseline holding only one-sided
+// scenarios makes the ns/op gate vacuous; -check must still exit 0 but
+// say so with a distinct warning line, not a clean "check passed".
+func TestCheckWarnsOnZeroComparisons(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_0001.json"),
+		[]byte(`{"scenarios":[{"name":"retired-loop","ns_per_op":50,"steady_state":true}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	measure := func() []scenarioResult {
+		return []scenarioResult{steadyResult("brand-new-loop", 10, 0)}
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-check", "-C", dir}, &stdout, &stderr, measure); code != exitOK {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "warning: no ns/op comparisons performed") {
+		t.Fatalf("missing zero-comparison warning:\n%s", out)
+	}
+	if strings.Contains(out, "check passed") {
+		t.Fatalf("vacuous run claims a clean pass:\n%s", out)
+	}
+	// Both one-sided scenarios still get their explanatory notes.
+	for _, want := range []string{"brand-new-loop: new scenario", "retired-loop: in "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing note %q:\n%s", want, out)
+		}
 	}
 }
 

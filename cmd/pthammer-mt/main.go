@@ -1,0 +1,184 @@
+// Command pthammer-mt runs the multi-tenant scenarios — the attacks
+// only a machine with concurrent per-core front-ends over a shared LLC
+// and banked DRAM can express — and tabulates their outcomes:
+//
+//   - mt-colocated-amplify: one attacker core stays below the flip
+//     threshold; two co-located cores hammering the same aggressor
+//     pair cross it.
+//   - mt-noisy-neighbour: a memory-streaming bystander tenant closes
+//     the attacker's open DRAM rows and steals bank arbitration slots,
+//     diluting its pressure below the threshold the quiet arm crosses.
+//   - mt-cross-tenant-escalation: tenant page-table pools striped
+//     across adjacent DRAM rows let the attacker hammer its own
+//     leaf-PTE rows until a flip in the sandwiched victim row remaps a
+//     victim page onto an attacker-owned frame; the attacker's marker
+//     read back through the victim's own translation is the breach.
+//
+// Every core runs in its own goroutine, but the interleaver grants
+// quanta lowest-clock-first with a fixed tiebreak, so the output bytes
+// are a pure function of the flags — in particular independent of
+// -procs (GOMAXPROCS). CI asserts this by diffing runs at -procs 1, 2
+// and 4, twice each.
+//
+// Usage:
+//
+//	pthammer-mt [-scenario all|amplify|noisy|cross-tenant] [-seed N]
+//	            [-windows N] [-xt-seed N] [-xt-windows N] [-procs N] [-o FILE]
+//
+// Exit codes: 0 success, 1 simulation failure, 2 usage error, 3 output
+// write failure.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"pthammer/internal/bench"
+)
+
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+	exitWrite   = 3
+)
+
+// renderAmplify runs both co-location arms and appends table 1.
+func renderAmplify(buf *bytes.Buffer, seed int64, windows int) error {
+	res, err := bench.RunColocatedAmplify(seed, windows)
+	if err != nil {
+		return fmt.Errorf("amplify: %w", err)
+	}
+	fmt.Fprintf(buf, "# table 1: mt-colocated-amplify — same pair, one core vs two co-located cores (seed=%d windows=%d)\n", seed, windows)
+	fmt.Fprintf(buf, "arm\tcores\tpeak_pressure\tflips\titerations\n")
+	fmt.Fprintf(buf, "solo\t1\t%d\t%d\t%d\n", res.SoloPressure, res.SoloFlips, res.SoloIters)
+	fmt.Fprintf(buf, "duo\t2\t%d\t%d\t%d\n", res.DuoPressure, res.DuoFlips, res.DuoIters)
+	if res.SoloFlips != 0 || res.DuoFlips == 0 {
+		return fmt.Errorf("amplify: co-location did not gate the flips: %+v", res)
+	}
+	return nil
+}
+
+// renderNoisy runs both neighbour arms and appends table 2.
+func renderNoisy(buf *bytes.Buffer, seed int64, windows int) error {
+	res, err := bench.RunNoisyNeighbour(seed, windows)
+	if err != nil {
+		return fmt.Errorf("noisy: %w", err)
+	}
+	fmt.Fprintf(buf, "# table 2: mt-noisy-neighbour — attacker next to an idle vs streaming bystander tenant (seed=%d windows=%d)\n", seed, windows)
+	fmt.Fprintf(buf, "arm\tpeak_pressure\tflips\tattacker_iters\tbystander_loads\n")
+	fmt.Fprintf(buf, "quiet\t%d\t%d\t%d\t0\n", res.QuietPressure, res.QuietFlips, res.QuietIters)
+	fmt.Fprintf(buf, "noisy\t%d\t%d\t%d\t%d\n", res.NoisyPressure, res.NoisyFlips, res.NoisyIters, res.BystanderLoads)
+	if res.QuietFlips == 0 || res.NoisyFlips != 0 {
+		return fmt.Errorf("noisy: bystander did not dilute the flips: %+v", res)
+	}
+	return nil
+}
+
+// renderCrossTenant runs the escalation chain and appends table 3.
+func renderCrossTenant(buf *bytes.Buffer, seed int64, maxWindows int) error {
+	res, err := bench.RunCrossTenantEscalation(seed, maxWindows)
+	if err != nil {
+		return fmt.Errorf("cross-tenant: %w", err)
+	}
+	fmt.Fprintf(buf, "# table 3: mt-cross-tenant-escalation — striped table pools, victim row sandwiched by attacker rows (seed=%d budget=%d windows)\n", seed, maxWindows)
+	fmt.Fprintf(buf, "attacker_rows\tvictim_row\twindows\titerations\tflips\tdiverged_va\thijacked_frame\tbreached\n")
+	fmt.Fprintf(buf, "%d,%d\t%d\t%d\t%d\t%d\t%#x\t%#x\t%v\n",
+		res.AttackerRows[0], res.AttackerRows[1], res.VictimRow,
+		res.Windows, res.Iterations, res.Flips,
+		uint64(res.DivergedVA), uint64(res.HijackedFrame.Addr()), res.Breached)
+	if !res.Breached {
+		return fmt.Errorf("cross-tenant: no breach: %+v", res)
+	}
+	return nil
+}
+
+// render produces the full deterministic report for the selected
+// scenario(s).
+// The header deliberately omits -procs: CI diffs the bytes across
+// -procs values, so nothing scheduling-dependent may appear in them.
+func render(scenario string, seed int64, windows int, xtSeed int64, xtWindows int) ([]byte, error) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# pthammer-mt preset=SandyBridge(escalation scale) scenario=%s\n", scenario)
+	if scenario == "all" || scenario == "amplify" {
+		if err := renderAmplify(&buf, seed, windows); err != nil {
+			return nil, err
+		}
+	}
+	if scenario == "all" || scenario == "noisy" {
+		if err := renderNoisy(&buf, seed, windows); err != nil {
+			return nil, err
+		}
+	}
+	if scenario == "all" || scenario == "cross-tenant" {
+		if err := renderCrossTenant(&buf, xtSeed, xtWindows); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// run is main with its environment made explicit, so the error paths
+// are table-testable: args exclude the program name, and the return
+// value is the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pthammer-mt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenario := fs.String("scenario", "all", "which scenario to run: all, amplify, noisy or cross-tenant")
+	seed := fs.Int64("seed", 4, "flip-model seed for the amplify and noisy scenarios")
+	windows := fs.Int("windows", 4, "refresh windows per arm for the amplify and noisy scenarios")
+	xtSeed := fs.Int64("xt-seed", 1, "flip-model seed for the cross-tenant escalation")
+	xtWindows := fs.Int("xt-windows", 60, "refresh-window budget for the cross-tenant escalation")
+	procs := fs.Int("procs", 0, "GOMAXPROCS for the run (0 keeps the runtime default); the output must not depend on it")
+	out := fs.String("o", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		// The flag set already printed the parse error and usage.
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "pthammer-mt: unexpected arguments: %q\n", fs.Args())
+		fs.Usage()
+		return exitUsage
+	}
+	switch *scenario {
+	case "all", "amplify", "noisy", "cross-tenant":
+	default:
+		fmt.Fprintf(stderr, "pthammer-mt: unknown -scenario %q\n", *scenario)
+		return exitUsage
+	}
+	if *windows < 1 || *xtWindows < 1 {
+		fmt.Fprintf(stderr, "pthammer-mt: window counts must be positive (got %d, %d)\n", *windows, *xtWindows)
+		return exitUsage
+	}
+	if *procs < 0 {
+		fmt.Fprintf(stderr, "pthammer-mt: -procs must be non-negative (got %d)\n", *procs)
+		return exitUsage
+	}
+	if *procs > 0 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(*procs))
+	}
+
+	report, err := render(*scenario, *seed, *windows, *xtSeed, *xtWindows)
+	if err != nil {
+		fmt.Fprintln(stderr, "pthammer-mt:", err)
+		return exitRuntime
+	}
+	if *out == "" {
+		stdout.Write(report)
+		return exitOK
+	}
+	if err := os.WriteFile(*out, report, 0o644); err != nil {
+		fmt.Fprintln(stderr, "pthammer-mt:", err)
+		return exitWrite
+	}
+	fmt.Fprintln(stdout, "wrote", *out)
+	return exitOK
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

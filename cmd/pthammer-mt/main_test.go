@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fullReport renders all three scenarios at the default seeds.
+func fullReport(t *testing.T) []byte {
+	t.Helper()
+	out, err := render("all", 4, 4, 1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestReportDeterministic is the command's contract: two renders
+// produce bit-identical bytes — the property the CI multicore leg
+// asserts by diffing full invocations across reruns and -procs values.
+func TestReportDeterministic(t *testing.T) {
+	a := fullReport(t)
+	b := fullReport(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("reports differ across reruns:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}
+
+// TestReportLayout pins the table layout downstream tooling parses,
+// and the outcomes the scenarios gate on: solo/quiet vs duo, dilution,
+// and the cross-tenant breach.
+func TestReportLayout(t *testing.T) {
+	out := string(fullReport(t))
+	for _, want := range []string{
+		"# pthammer-mt preset=SandyBridge(escalation scale) scenario=all\n",
+		"# table 1: mt-colocated-amplify",
+		"arm\tcores\tpeak_pressure\tflips\titerations",
+		"\nsolo\t1\t", "\nduo\t2\t",
+		"# table 2: mt-noisy-neighbour",
+		"arm\tpeak_pressure\tflips\tattacker_iters\tbystander_loads",
+		"\nquiet\t", "\nnoisy\t",
+		"# table 3: mt-cross-tenant-escalation",
+		"attacker_rows\tvictim_row\twindows\titerations\tflips\tdiverged_va\thijacked_frame\tbreached",
+		"\ttrue\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Nothing scheduling-dependent may leak into the bytes.
+	if strings.Contains(out, "procs") {
+		t.Errorf("report mentions procs; its bytes must be -procs-independent:\n%s", out)
+	}
+}
+
+// TestRunSingleScenario: -scenario selects exactly one table.
+func TestRunSingleScenario(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scenario", "amplify"}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "# table 1: mt-colocated-amplify") {
+		t.Errorf("amplify table missing:\n%s", out)
+	}
+	for _, absent := range []string{"# table 2", "# table 3"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("unexpected %s in -scenario amplify output:\n%s", absent, out)
+		}
+	}
+}
+
+// TestRunWritesFile: -o writes the report to the given path.
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mt.tsv")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scenario", "noisy", "-o", path}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# table 2: mt-noisy-neighbour") {
+		t.Errorf("file missing the noisy table:\n%s", data)
+	}
+}
+
+// TestRunUsageErrors: bad flags exit 2 without running anything.
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenario", "bogus"},
+		{"-windows", "0"},
+		{"-xt-windows", "-1"},
+		{"-procs", "-2"},
+		{"stray"},
+		{"-not-a-flag"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != exitUsage {
+			t.Errorf("args %q: exit %d, want %d (stderr: %s)", args, code, exitUsage, stderr.String())
+		}
+	}
+}

@@ -36,6 +36,10 @@ var deterministicSuffixes = []string{
 	"internal/flip",
 	"internal/evset",
 	"internal/fault",
+	// The multi-core interleaver: its grant order is the multi-tenant
+	// machine's whole determinism story, so a wall-clock read or an
+	// unordered iteration here breaks byte-identical mt-* output.
+	"internal/core",
 }
 
 // randConstructors are the math/rand package-level functions that build

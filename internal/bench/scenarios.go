@@ -47,6 +47,13 @@ func newMachine() *machine.Machine {
 //	                     rewrite own PTEs through the corrupted mapping
 //	resilient-escalation budgeted driver recovering from a mid-run
 //	                     aggressor-pair invalidation via replanning
+//	mt-colocated-amplify two co-located attacker cores double the victim
+//	                     row's pressure past a threshold one core cannot reach
+//	mt-noisy-neighbour   a streaming bystander tenant dilutes the attacker's
+//	                     pressure below the threshold (co-tenancy as defence)
+//	mt-cross-tenant-escalation striped table pools: hammering the attacker's
+//	                     own PTE rows flips a victim tenant's PTE, mapping a
+//	                     victim page onto an attacker frame
 //	cold-load-sweep      stride past cache and TLB reach, full-miss loads
 //	tlb-thrash           page stride past sTLB reach, walk-heavy loads
 //	loadn-batch-64       batched LoadN over a reused result buffer
@@ -167,6 +174,62 @@ func Scenarios() []Scenario {
 					}
 					if !v.Success || v.Replans == 0 {
 						b.Fatalf("driver did not recover via replan: %+v", v)
+					}
+				}
+			},
+		},
+		{
+			// Two co-located attacker cores hammering the same aggressor
+			// pair under the deterministic interleaver: the solo arm must
+			// stay below the flip threshold and the duo arm must cross
+			// it. Not steady-state: each op builds two multi-core
+			// machines and runs both arms.
+			Name: "mt-colocated-amplify",
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := RunColocatedAmplify(4, 4)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.SoloFlips != 0 || res.DuoFlips == 0 {
+						b.Fatalf("co-location did not gate the flips: %+v", res)
+					}
+				}
+			},
+		},
+		{
+			// The same attacker next to a memory-streaming bystander
+			// tenant: the bystander's DRAM churn must dilute the
+			// attacker's pressure below the threshold that the quiet arm
+			// crosses.
+			Name: "mt-noisy-neighbour",
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := RunNoisyNeighbour(4, 4)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.QuietFlips == 0 || res.NoisyFlips != 0 {
+						b.Fatalf("bystander did not dilute the flips: %+v", res)
+					}
+				}
+			},
+		},
+		{
+			// The full cross-tenant chain on striped table pools: the
+			// attacker hammers its own leaf-PTE rows, a flip lands in the
+			// victim tenant's sandwiched table row, and a victim page
+			// remaps onto an attacker-owned frame. Seed 1 breaches in ~23
+			// refresh windows.
+			Name: "mt-cross-tenant-escalation",
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := RunCrossTenantEscalation(1, 60)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Breached {
+						b.Fatalf("no cross-tenant breach: %+v", res)
 					}
 				}
 			},

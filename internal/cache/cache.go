@@ -1,9 +1,20 @@
-// Package cache models the three-level data-cache hierarchy: private
-// L1 and L2 plus a shared, inclusive last-level cache, all
+// Package cache models the data-cache hierarchy: per-core private L1
+// and L2 levels over one shared, inclusive last-level cache, all
 // set-associative with LRU replacement. Inclusivity is what makes the
 // paper's LLC eviction sets work: evicting a line from the LLC
-// back-invalidates it from the private levels, so a later load must go
-// to DRAM. Flush models clflush for the explicit-hammer baseline.
+// back-invalidates it from every core's private levels, so a later
+// load must go to DRAM — and, in the multi-core mode, an eviction
+// caused by one core silently degrades another core's private copies,
+// which is exactly the cross-core coupling the mt-* scenarios exploit.
+// Flush models clflush for the explicit-hammer baseline.
+//
+// The split mirrors the hardware: SharedLLC is the one slice of
+// cross-core state (tag array, arbitration bookkeeping, the registry
+// of private levels to back-invalidate), while Hierarchy is one core's
+// port onto it — it owns that core's L1/L2 and charges every latency,
+// including LLC arbitration, to that core's clock and counters, so the
+// clock/Result/PMC agreement invariant holds per core with any number
+// of front-ends sharing the LLC.
 package cache
 
 import (
@@ -49,32 +60,109 @@ func newLevel(cfg Config) *mem.SetAssoc {
 	return mem.NewSetAssoc(int(cfg.Sets()), cfg.Ways)
 }
 
-// Hierarchy is the L1→L2→LLC chain, a mem.Device that forwards LLC
-// misses to the next device (DRAM).
+// SharedLLC is the cross-core state of one inclusive last-level cache:
+// the tag array, the line geometry, and the contention bookkeeping.
+// Per-core Hierarchy values attach to it via NewCore; everything here
+// is mutated only through those per-core ports, which under the
+// multi-core interleaver run one at a time.
+type SharedLLC struct {
+	cfg Config
+	llc *mem.SetAssoc
+	arb timing.Cycles
+	// lastCore is the index of the core whose access touched the LLC
+	// most recently, -1 before the first access. An access from a
+	// different core pays the arbitration cost — which means a
+	// single-core machine can never be charged.
+	lastCore int
+	// cores holds the registered per-core hierarchies, indexed by core;
+	// an LLC eviction back-invalidates the victim line from every one
+	// of them (inclusivity is a property of the whole machine, not of
+	// the evicting core).
+	cores []*Hierarchy
+}
+
+// NewShared builds the shared slice of an inclusive LLC. Per-core
+// front-ends attach to it with NewCore; the arbitration cost comes
+// from the machine's latency table.
+func NewShared(llc Config, lat timing.LatencyTable) (*SharedLLC, error) {
+	if err := llc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	return &SharedLLC{
+		cfg:      llc,
+		llc:      newLevel(llc),
+		arb:      lat.LLCArbitration,
+		lastCore: -1,
+	}, nil
+}
+
+// Cores returns how many per-core hierarchies are attached.
+func (s *SharedLLC) Cores() int { return len(s.cores) }
+
+// backInvalidate preserves inclusivity machine-wide: the evicted LLC
+// line is dropped from every attached core's private levels, whichever
+// core's fill caused the eviction.
+//
+//pthammer:noalloc
+func (s *SharedLLC) backInvalidate(line uint64) {
+	for _, h := range s.cores {
+		h.l1.Invalidate(line)
+		h.l2.Invalidate(line)
+	}
+}
+
+// Hierarchy is one core's port onto the cache subsystem: private
+// L1→L2 plus the shared LLC, a mem.Device that forwards LLC misses to
+// the next device (the core's DRAM port). All latencies — private
+// hits, LLC hits, and LLC arbitration — are charged to this core's
+// clock, so N hierarchies over one SharedLLC keep N independent
+// clock/Result/PMC agreements.
 type Hierarchy struct {
-	l1, l2, llc *mem.SetAssoc
-	lineShift   uint
-	next        mem.Device
-	clock       *timing.Clock
-	counters    *perf.Counters
+	l1, l2    *mem.SetAssoc
+	shared    *SharedLLC
+	core      int
+	lineShift uint
+	next      mem.Device
+	clock     *timing.Clock
+	counters  *perf.Counters
 
 	l1Hit, l2Hit, llcHit, flushCost timing.Cycles
 }
 
-// New builds the hierarchy. All three levels must share one line size,
-// and the LLC must be large enough to hold the private levels (the
-// inclusive property the eviction-set algorithms rely on).
+// New builds a single-core hierarchy: a private SharedLLC with this
+// hierarchy as its only attached core. All three levels must share one
+// line size, and the LLC must be large enough to hold the private
+// levels (the inclusive property the eviction-set algorithms rely on).
 func New(l1, l2, llc Config, next mem.Device, clock *timing.Clock, counters *perf.Counters, lat timing.LatencyTable) (*Hierarchy, error) {
-	for _, c := range []Config{l1, l2, llc} {
+	shared, err := NewShared(llc, lat)
+	if err != nil {
+		return nil, err
+	}
+	return NewCore(l1, l2, shared, 0, next, clock, counters, lat)
+}
+
+// NewCore builds core's hierarchy over an existing shared LLC and
+// attaches it. Cores must attach in index order (core == number
+// already attached), which the machine facade guarantees; the check
+// keeps a miswired machine from silently aliasing two cores' private
+// levels under one index.
+func NewCore(l1, l2 Config, shared *SharedLLC, core int, next mem.Device, clock *timing.Clock, counters *perf.Counters, lat timing.LatencyTable) (*Hierarchy, error) {
+	if shared == nil {
+		return nil, fmt.Errorf("cache: shared LLC must be non-nil")
+	}
+	for _, c := range []Config{l1, l2} {
 		if err := c.Validate(); err != nil {
 			return nil, err
 		}
 	}
-	if l1.LineBytes != l2.LineBytes || l2.LineBytes != llc.LineBytes {
-		return nil, fmt.Errorf("cache: line sizes differ (L1 %d, L2 %d, LLC %d)", l1.LineBytes, l2.LineBytes, llc.LineBytes)
+	if l1.LineBytes != l2.LineBytes || l2.LineBytes != shared.cfg.LineBytes {
+		return nil, fmt.Errorf("cache: line sizes differ (L1 %d, L2 %d, LLC %d)", l1.LineBytes, l2.LineBytes, shared.cfg.LineBytes)
 	}
-	if llc.SizeBytes < l1.SizeBytes+l2.SizeBytes {
-		return nil, fmt.Errorf("cache: inclusive LLC (%d B) smaller than L1+L2 (%d B)", llc.SizeBytes, l1.SizeBytes+l2.SizeBytes)
+	if shared.cfg.SizeBytes < l1.SizeBytes+l2.SizeBytes {
+		return nil, fmt.Errorf("cache: inclusive LLC (%d B) smaller than L1+L2 (%d B)", shared.cfg.SizeBytes, l1.SizeBytes+l2.SizeBytes)
 	}
 	if err := lat.Validate(); err != nil {
 		return nil, err
@@ -82,10 +170,14 @@ func New(l1, l2, llc Config, next mem.Device, clock *timing.Clock, counters *per
 	if next == nil || clock == nil || counters == nil {
 		return nil, fmt.Errorf("cache: next device, clock and counters must be non-nil")
 	}
-	return &Hierarchy{
+	if core != len(shared.cores) {
+		return nil, fmt.Errorf("cache: core %d attached out of order (want %d)", core, len(shared.cores))
+	}
+	h := &Hierarchy{
 		l1:        newLevel(l1),
 		l2:        newLevel(l2),
-		llc:       newLevel(llc),
+		shared:    shared,
+		core:      core,
 		lineShift: uint(bits.TrailingZeros64(l1.LineBytes)),
 		next:      next,
 		clock:     clock,
@@ -94,8 +186,13 @@ func New(l1, l2, llc Config, next mem.Device, clock *timing.Clock, counters *per
 		l2Hit:     lat.L2Hit,
 		llcHit:    lat.LLCHit,
 		flushCost: lat.CLFlushCost,
-	}, nil
+	}
+	shared.cores = append(shared.cores, h)
+	return h, nil
 }
+
+// Shared returns the LLC slice this hierarchy is attached to.
+func (h *Hierarchy) Shared() *SharedLLC { return h.shared }
 
 // lineOf returns the line number containing the address.
 //
@@ -107,8 +204,10 @@ func (h *Hierarchy) lineOf(a phys.Addr) uint64 { return uint64(a) >> h.lineShift
 // level is probed with a single fused LookupInsert scan: a level that
 // misses will be filled with the line no matter where it is eventually
 // served from, so the miss path installs it in the same pass that
-// detected the miss instead of rescanning the set later. The serving
-// level's latency is charged to the shared clock.
+// detected the miss instead of rescanning the set later. Crossing into
+// the shared LLC behind another core's access additionally charges the
+// arbitration cost. The whole latency — serving level plus any
+// arbitration — is charged to this core's clock.
 //
 //pthammer:noalloc
 func (h *Hierarchy) Lookup(a mem.Access) mem.Result {
@@ -122,37 +221,52 @@ func (h *Hierarchy) Lookup(a mem.Access) mem.Result {
 		return mem.Result{Latency: h.l2Hit, Hit: true, Source: mem.LevelL2}
 	}
 	h.counters.Inc(perf.LLCReference)
-	hit, victim, evicted := h.llc.LookupInsert(ln)
+	s := h.shared
+	var arb timing.Cycles
+	if s.lastCore != h.core {
+		if s.lastCore >= 0 {
+			arb = s.arb
+		}
+		s.lastCore = h.core
+	}
+	hit, victim, evicted := s.llc.LookupInsert(ln)
 	if hit {
-		h.clock.Advance(h.llcHit)
-		return mem.Result{Latency: h.llcHit, Hit: true, Source: mem.LevelLLC}
+		lat := h.llcHit + arb
+		h.clock.Advance(lat)
+		return mem.Result{Latency: lat, Hit: true, Source: mem.LevelLLC}
 	}
 	// An LLC fill that evicted a (different) line back-invalidates it
-	// from the private levels to preserve inclusivity. The victim can
-	// never be ln itself: the insert just made ln the set's MRU way.
+	// from every core's private levels to preserve inclusivity. The
+	// victim can never be ln itself: the insert just made ln the set's
+	// MRU way.
 	if evicted {
-		h.l1.Invalidate(victim)
-		h.l2.Invalidate(victim)
+		s.backInvalidate(victim)
 	}
 	h.counters.Inc(perf.LongestLatCacheMiss)
+	if arb > 0 {
+		h.clock.Advance(arb)
+	}
 	res := h.next.Lookup(a) //pthammer:alloc-ok interface dispatch to the wired memory device, itself noalloc
-	return mem.Result{Latency: res.Latency, Hit: false, Source: res.Source}
+	return mem.Result{Latency: res.Latency + arb, Hit: false, Source: res.Source}
 }
 
-// Flush models clflush: the line is dropped from every level and the
-// fixed instruction cost is charged whether or not it was cached.
+// Flush models clflush: the line is dropped from every private level
+// of every attached core and from the shared LLC (clflush is a
+// coherence-domain operation, not a per-core one), and the fixed
+// instruction cost is charged to the flushing core whether or not the
+// line was cached anywhere.
 func (h *Hierarchy) Flush(a phys.Addr) timing.Cycles {
 	ln := h.lineOf(a)
-	h.l1.Invalidate(ln)
-	h.l2.Invalidate(ln)
-	h.llc.Invalidate(ln)
+	h.shared.backInvalidate(ln)
+	h.shared.llc.Invalidate(ln)
 	h.clock.Advance(h.flushCost)
 	return h.flushCost
 }
 
-// Contains reports which levels currently hold the address's line,
-// for tests asserting the inclusive property.
+// Contains reports which levels currently hold the address's line from
+// this core's point of view (its private levels, the shared LLC), for
+// tests asserting the inclusive property.
 func (h *Hierarchy) Contains(a phys.Addr) (inL1, inL2, inLLC bool) {
 	ln := h.lineOf(a)
-	return h.l1.Contains(ln), h.l2.Contains(ln), h.llc.Contains(ln)
+	return h.l1.Contains(ln), h.l2.Contains(ln), h.shared.llc.Contains(ln)
 }

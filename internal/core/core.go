@@ -1,0 +1,118 @@
+// Package core is the deterministic interleaver underneath the
+// simulator's multi-core mode: it drives N per-core access streams,
+// each in its own goroutine, while granting execution to exactly one
+// stream at a time — always the runnable stream whose logical clock is
+// lowest, ties broken by lowest core index. The sweep engine already
+// established the repo's concurrency contract (worker count changes
+// wall-clock time and nothing else, via per-shard seeds); this package
+// extends the same contract to cores that share mutable state: the
+// schedule is a pure function of the streams' logical clocks, so the
+// merged interleaving — and therefore every piece of shared simulator
+// state the streams touch (LLC contents, DRAM activation counters,
+// flip-engine reports) — is bit-identical for any GOMAXPROCS value.
+//
+// The handshake is strictly serial: the scheduler grants one quantum,
+// then blocks until the granted stream reports back (parked at its
+// next yield, or finished) before picking again. Exactly one goroutine
+// executes simulator code at any instant, and every edge is an
+// unbuffered channel operation, so the interleaver is race-clean by
+// construction — the property the CI multicore leg pins under -race.
+//
+// Because grants always go to the lowest clock, the sequence of clock
+// values observed at grant time is nondecreasing: shared devices see
+// simulated time move forward monotonically even though each core
+// carries its own clock. Devices that latch a start-of-window
+// timestamp (the DRAM refresh window) still guard against a reading
+// from a core that has not caught up yet; see dram.rotateWindow.
+package core
+
+import "pthammer/internal/timing"
+
+// Stream is one core's access stream under the interleaver.
+type Stream struct {
+	// Now reports the core's logical clock — for a machine core, the
+	// core's timing.Clock.Now. The scheduler calls it only while the
+	// stream is parked, so implementations need no synchronisation.
+	Now func() timing.Cycles
+
+	// Run is the stream body. It must call yield() between quanta —
+	// every point at which the scheduler may hand execution to another
+	// core — and may simply return when the stream is done. Touching
+	// shared simulator state without an intervening yield is safe (the
+	// quantum is atomic) but delays other cores whose clocks are
+	// behind, so keep quanta small: one hammer iteration, one batch of
+	// loads, one scan.
+	Run func(yield func())
+}
+
+// Run executes the streams to completion under the deterministic
+// schedule and returns the grant log: the core index granted at each
+// scheduling decision, in order. The log is itself part of the
+// determinism contract (tests diff it across GOMAXPROCS values);
+// callers that only want the side effects can discard it.
+//
+// Run panics on a stream with a nil Now or Run — a wiring bug, not a
+// runtime condition.
+func Run(streams []Stream) []int {
+	n := len(streams)
+	if n == 0 {
+		return nil
+	}
+	for _, s := range streams {
+		if s.Now == nil || s.Run == nil {
+			panic("core: stream needs both Now and Run")
+		}
+	}
+
+	type report struct {
+		core int
+		done bool
+	}
+	grants := make([]chan struct{}, n)
+	status := make(chan report)
+	for i := range streams {
+		grants[i] = make(chan struct{})
+		go func(i int, s Stream) {
+			yield := func() {
+				status <- report{core: i}
+				<-grants[i]
+			}
+			// Wait for the first grant so the stream body never runs
+			// concurrently with another stream's quantum.
+			<-grants[i]
+			s.Run(yield)
+			status <- report{core: i, done: true}
+		}(i, streams[i])
+	}
+
+	// Every stream is parked at its initial grant receive; the
+	// scheduler loop below keeps the invariant that all live streams
+	// are parked whenever it picks, because it blocks on the granted
+	// stream's report before picking again.
+	done := make([]bool, n)
+	remaining := n
+	var log []int
+	for remaining > 0 {
+		best := -1
+		var bestT timing.Cycles
+		for i := 0; i < n; i++ {
+			if done[i] {
+				continue
+			}
+			t := streams[i].Now()
+			// Strict < implements the fixed tiebreak: equal clocks go
+			// to the lowest core index.
+			if best == -1 || t < bestT {
+				best, bestT = i, t
+			}
+		}
+		log = append(log, best)
+		grants[best] <- struct{}{}
+		r := <-status
+		if r.done {
+			done[r.core] = true
+			remaining--
+		}
+	}
+	return log
+}

@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"pthammer/internal/core"
+	"pthammer/internal/timing"
+)
+
+// scripted is a fake core: each quantum advances its clock by the next
+// scripted increment, and the stream finishes when the script runs out.
+type scripted struct {
+	clock timing.Cycles
+	steps []timing.Cycles
+}
+
+func (s *scripted) stream() core.Stream {
+	return core.Stream{
+		Now: func() timing.Cycles { return s.clock },
+		Run: func(yield func()) {
+			for i, d := range s.steps {
+				s.clock += d
+				if i < len(s.steps)-1 {
+					yield()
+				}
+			}
+		},
+	}
+}
+
+func TestLowestTimestampNext(t *testing.T) {
+	// Core 0 takes big steps, core 1 small ones: after the opening
+	// grants the scheduler must keep handing core 1 the CPU until its
+	// clock passes core 0's.
+	a := &scripted{steps: []timing.Cycles{100, 100}}
+	b := &scripted{steps: []timing.Cycles{10, 10, 10, 10, 10}}
+	log := core.Run([]core.Stream{a.stream(), b.stream()})
+	// Both start at 0 → tiebreak gives core 0 the first grant (clock
+	// 100). Core 1 then runs at 0,10,20,...: five grants before its
+	// script ends at 50, still below 100, so core 0's final quantum
+	// comes last.
+	want := []int{0, 1, 1, 1, 1, 1, 0}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("grant log = %v, want %v", log, want)
+	}
+	if a.clock != 200 || b.clock != 50 {
+		t.Fatalf("final clocks = %d, %d; want 200, 50", a.clock, b.clock)
+	}
+}
+
+func TestTiebreakPicksLowestIndex(t *testing.T) {
+	// Identical scripts: clocks are equal at every scheduling point, so
+	// the fixed tiebreak must strictly alternate starting at core 0.
+	mk := func() *scripted { return &scripted{steps: []timing.Cycles{5, 5, 5}} }
+	log := core.Run([]core.Stream{mk().stream(), mk().stream(), mk().stream()})
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("grant log = %v, want %v", log, want)
+	}
+}
+
+func TestSingleStreamAndImmediateReturn(t *testing.T) {
+	ran := false
+	log := core.Run([]core.Stream{{
+		Now: func() timing.Cycles { return 0 },
+		Run: func(yield func()) { ran = true },
+	}})
+	if !ran {
+		t.Fatal("stream body never ran")
+	}
+	if !reflect.DeepEqual(log, []int{0}) {
+		t.Fatalf("grant log = %v, want [0]", log)
+	}
+	if got := core.Run(nil); got != nil {
+		t.Fatalf("Run(nil) = %v, want nil", got)
+	}
+}
+
+func TestNilStreamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run accepted a stream with a nil Run")
+		}
+	}()
+	core.Run([]core.Stream{{Now: func() timing.Cycles { return 0 }}})
+}
+
+// TestDeterministicAcrossGOMAXPROCS is the headline contract: the grant
+// log (and the streams' final state) must be bit-identical no matter
+// how much real parallelism the runtime has to play with.
+func TestDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func() ([]int, []timing.Cycles) {
+		// Irregular, mutually prime step patterns so the schedule is
+		// nontrivial.
+		cores := []*scripted{
+			{steps: []timing.Cycles{7, 13, 7, 13, 7, 13, 7, 13}},
+			{steps: []timing.Cycles{11, 11, 11, 11, 11, 11}},
+			{steps: []timing.Cycles{3, 3, 3, 29, 3, 3, 3, 29, 3}},
+			{steps: []timing.Cycles{17, 2, 17, 2, 17, 2}},
+		}
+		streams := make([]core.Stream, len(cores))
+		for i, c := range cores {
+			streams[i] = c.stream()
+		}
+		log := core.Run(streams)
+		finals := make([]timing.Cycles, len(cores))
+		for i, c := range cores {
+			finals[i] = c.clock
+		}
+		return log, finals
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	refLog, refFinals := run()
+	for _, p := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(p)
+		log, finals := run()
+		if !reflect.DeepEqual(log, refLog) {
+			t.Fatalf("GOMAXPROCS=%d: grant log diverged:\n got %v\nwant %v", p, log, refLog)
+		}
+		if !reflect.DeepEqual(finals, refFinals) {
+			t.Fatalf("GOMAXPROCS=%d: final clocks diverged: got %v want %v", p, finals, refFinals)
+		}
+	}
+}
+
+// TestGrantClocksNondecreasing pins the property shared devices rely
+// on: the clock of the granted core, read at grant time, never moves
+// backwards across the schedule.
+func TestGrantClocksNondecreasing(t *testing.T) {
+	cores := []*scripted{
+		{steps: []timing.Cycles{40, 1, 1, 1, 40}},
+		{steps: []timing.Cycles{9, 9, 9, 9, 9, 9, 9, 9, 9}},
+	}
+	var granted []timing.Cycles
+	streams := make([]core.Stream, len(cores))
+	for i, c := range cores {
+		c := c
+		inner := c.stream()
+		streams[i] = core.Stream{
+			Now: inner.Now,
+			Run: func(yield func()) {
+				inner.Run(func() {
+					yield()
+					// Back from a grant: record the clock we resumed at.
+					granted = append(granted, c.clock)
+				})
+			},
+		}
+	}
+	core.Run(streams)
+	for i := 1; i < len(granted); i++ {
+		if granted[i] < granted[i-1] {
+			t.Fatalf("grant-time clocks not nondecreasing: %v", granted)
+		}
+	}
+}

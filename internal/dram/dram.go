@@ -203,6 +203,11 @@ type bank struct {
 	// openRow is the row latched in the row buffer, or -1 when the bank
 	// is precharged.
 	openRow int64
+	// lastCore is the core whose request this bank serviced most
+	// recently, -1 before the first. A request from a different core
+	// pays the bank-arbitration cost (the scheduler switching request
+	// streams), so a single-core machine can never be charged.
+	lastCore int
 	// acts[row] is the row's ACT count, valid only when epoch[row]
 	// matches the DRAM's current window epoch.
 	acts []uint64
@@ -213,16 +218,23 @@ type bank struct {
 	touched []uint64
 }
 
-// DRAM is the terminal mem.Device of the hierarchy.
+// DRAM is the terminal memory device of the hierarchy: the cross-core
+// shared state (banks, activation bookkeeping, the refresh window).
+// Cores reach it through Port values — DRAM itself is a mem.Device
+// only by delegating to its default port (core 0), which keeps the
+// single-core wiring unchanged.
 type DRAM struct {
-	cfg      Config
-	dec      decoder
-	clock    *timing.Clock
-	counters *perf.Counters
+	cfg Config
+	dec decoder
+	// def is the default port (core 0): the device the single-core
+	// machine wires into the cache hierarchy, and the clock bookkeeping
+	// methods on DRAM itself charge into.
+	def *Port
 
 	rowHit      timing.Cycles
 	rowClosed   timing.Cycles
 	rowConflict timing.Cycles
+	bankArb     timing.Cycles
 
 	banks       []bank
 	windowStart timing.Cycles
@@ -260,11 +272,10 @@ func New(cfg Config, clock *timing.Clock, counters *perf.Counters, lat timing.La
 	d := &DRAM{
 		cfg:             cfg,
 		dec:             cfg.newDecoder(),
-		clock:           clock,
-		counters:        counters,
 		rowHit:          lat.DRAMRowHit,
 		rowClosed:       lat.DRAMRowClosed,
 		rowConflict:     lat.DRAMRowConflict,
+		bankArb:         lat.DRAMBankArbitration,
 		banks:           make([]bank, cfg.TotalBanks()),
 		windowStart:     clock.Now(),
 		windowEpoch:     1,
@@ -272,24 +283,72 @@ func New(cfg Config, clock *timing.Clock, counters *perf.Counters, lat timing.La
 	}
 	for i := range d.banks {
 		d.banks[i] = bank{
-			openRow: -1,
-			acts:    make([]uint64, cfg.Rows),
-			epoch:   make([]uint64, cfg.Rows),
+			openRow:  -1,
+			lastCore: -1,
+			acts:     make([]uint64, cfg.Rows),
+			epoch:    make([]uint64, cfg.Rows),
 		}
 	}
+	d.def = &Port{d: d, core: 0, clock: clock, counters: counters}
 	return d, nil
 }
+
+// Port is one core's view of the shared DRAM: it carries the core's
+// identity, clock and counters, so every latency the shared banks
+// produce — including bank arbitration against another core's request
+// stream — is charged to the core that issued the access, keeping the
+// clock/Result/PMC agreement per core. A single-core machine uses the
+// default port DRAM builds for itself.
+type Port struct {
+	d        *DRAM
+	core     int
+	clock    *timing.Clock
+	counters *perf.Counters
+}
+
+// NewPort attaches a core's front-end to the shared DRAM. The default
+// port is core 0; additional cores take distinct indices so the
+// per-bank arbitration bookkeeping can tell their request streams
+// apart.
+func (d *DRAM) NewPort(core int, clock *timing.Clock, counters *perf.Counters) (*Port, error) {
+	if clock == nil || counters == nil {
+		return nil, fmt.Errorf("dram: port clock and counters must be non-nil")
+	}
+	if core < 0 {
+		return nil, fmt.Errorf("dram: port core index %d must be non-negative", core)
+	}
+	return &Port{d: d, core: core, clock: clock, counters: counters}, nil
+}
+
+// DRAM returns the shared device this port accesses.
+func (p *Port) DRAM() *DRAM { return p.d }
+
+// Core returns the port's core index.
+func (p *Port) Core() int { return p.core }
 
 // Config returns the geometry the device was built with.
 func (d *DRAM) Config() Config { return d.cfg }
 
-// Lookup services one memory access at a bank. It charges the
-// row-buffer-outcome latency to the shared clock, counts activations
-// and conflicts, and reports Hit for row-buffer hits.
+// Lookup services one memory access through the default (core 0)
+// port; the port's Lookup charges the full latency to that port's
+// clock before this method returns.
 //
 //pthammer:noalloc
 func (d *DRAM) Lookup(a mem.Access) mem.Result {
-	d.rotateWindow()
+	res := d.def.Lookup(a)
+	return res
+}
+
+// Lookup services one memory access at a bank. It charges the
+// row-buffer-outcome latency — plus the bank-arbitration cost when the
+// bank last serviced a different core — to the port's clock, counts
+// activations and conflicts against the port's counters, and reports
+// Hit for row-buffer hits.
+//
+//pthammer:noalloc
+func (p *Port) Lookup(a mem.Access) mem.Result {
+	d := p.d
+	d.rotateWindow(p.clock.Now(), p.core)
 	gb, row, _ := d.dec.decode(a.Addr)
 	b := &d.banks[gb]
 
@@ -301,21 +360,28 @@ func (d *DRAM) Lookup(a mem.Access) mem.Result {
 		rowHit = true
 	case b.openRow < 0:
 		lat = d.rowClosed
-		d.activate(b, row)
+		d.activate(b, row, p.counters)
 	default:
 		lat = d.rowConflict
-		d.counters.Inc(perf.DRAMRowConflicts)
-		d.activate(b, row)
+		p.counters.Inc(perf.DRAMRowConflicts)
+		d.activate(b, row, p.counters)
 	}
-	d.clock.Advance(lat)
+	if b.lastCore != p.core {
+		if b.lastCore >= 0 {
+			lat += d.bankArb
+		}
+		b.lastCore = p.core
+	}
+	p.clock.Advance(lat)
 	return mem.Result{Latency: lat, Hit: rowHit, Source: mem.LevelDRAM}
 }
 
-// activate latches row into the bank's row buffer and counts the ACT.
-// A row first touched this window has its stale count lazily reset.
+// activate latches row into the bank's row buffer and counts the ACT
+// against the accessing core's counters. A row first touched this
+// window has its stale count lazily reset.
 //
 //pthammer:noalloc
-func (d *DRAM) activate(b *bank, row uint64) {
+func (d *DRAM) activate(b *bank, row uint64, counters *perf.Counters) {
 	b.openRow = int64(row)
 	if b.epoch[row] == d.windowEpoch {
 		b.acts[row]++
@@ -324,7 +390,7 @@ func (d *DRAM) activate(b *bank, row uint64) {
 		b.acts[row] = 1
 		b.touched = append(b.touched, row) //pthammer:alloc-ok amortized: capacity is retained across window rotations
 	}
-	d.counters.Inc(perf.DRAMActivate)
+	counters.Inc(perf.DRAMActivate)
 }
 
 // SetWindowHook subscribes fn to end-of-refresh-window reports: every
@@ -350,13 +416,23 @@ func (d *DRAM) SetWindowHook(fn func(Stats)) { d.hook = fn }
 // everything counted since the previous rotation is attributed to the
 // window that just ended, however many boundaries have elapsed.
 //
+// now is the accessing core's clock and core its index. Under the
+// multi-core interleaver grant-time clocks are nondecreasing, but a
+// core can still read the device between grants of faster cores whose
+// accesses already pushed windowStart past it — the guard below simply
+// leaves the window alone until some core's clock catches up, instead
+// of letting the unsigned subtraction wrap.
+//
 //pthammer:noalloc
-func (d *DRAM) rotateWindow() {
+func (d *DRAM) rotateWindow(now timing.Cycles, core int) {
 	w := d.cfg.RefreshWindow
 	if w == 0 {
 		return
 	}
-	elapsed := d.clock.Now() - d.windowStart
+	if now < d.windowStart {
+		return
+	}
+	elapsed := now - d.windowStart
 	if elapsed < w {
 		return
 	}
@@ -371,6 +447,7 @@ func (d *DRAM) rotateWindow() {
 		}
 		if fire {
 			ended = d.stats() //pthammer:alloc-ok end-of-window report, off the per-access steady state
+			ended.Core = core
 		}
 	}
 	d.windowStart += (elapsed / w) * w
@@ -391,8 +468,13 @@ func (d *DRAM) rotateWindow() {
 // use it to scrub construction traffic (demand-allocation loads,
 // eviction-set build probes) out of the bookkeeping before a measured
 // hammer phase starts from a clean window.
-func (d *DRAM) ResetWindow() {
-	d.windowStart = d.clock.Now()
+func (d *DRAM) ResetWindow() { d.def.ResetWindow() }
+
+// ResetWindow is DRAM.ResetWindow anchored at this port's clock: the
+// fresh window starts at the resetting core's current cycle reading.
+func (p *Port) ResetWindow() {
+	d := p.d
+	d.windowStart = p.clock.Now()
 	d.windowEpoch++
 	for i := range d.banks {
 		d.banks[i].openRow = -1
@@ -410,9 +492,15 @@ func (b *bank) actsOf(row, epoch uint64) uint64 {
 }
 
 // Activations returns how many times the given row of the given bank
-// location has been activated in the current refresh window.
-func (d *DRAM) Activations(l Location) uint64 {
-	d.rotateWindow()
+// location has been activated in the current refresh window, checking
+// for rotation against the default port's clock.
+func (d *DRAM) Activations(l Location) uint64 { return d.def.Activations(l) }
+
+// Activations is DRAM.Activations with rotation checked against this
+// port's clock.
+func (p *Port) Activations(l Location) uint64 {
+	d := p.d
+	d.rotateWindow(p.clock.Now(), p.core)
 	return d.banks[d.cfg.globalBank(l)].actsOf(l.Row, d.windowEpoch)
 }
 
@@ -433,6 +521,11 @@ type Victim struct {
 type Stats struct {
 	// WindowStart is the cycle the current refresh window began.
 	WindowStart timing.Cycles
+	// Core identifies the request stream the report is attributed to:
+	// in end-of-window hook reports, the core whose access crossed the
+	// window boundary and triggered the rotation; from Port.HammerStats,
+	// the asking port's core. Always 0 on a single-core machine.
+	Core int
 	// Activations is the total ACT count across all banks this window.
 	Activations uint64
 	// Victims lists rows whose adjacent-row activation pressure meets
@@ -451,9 +544,16 @@ type Stats struct {
 // The computation walks only the rows actually activated this window,
 // accumulating neighbour pressure in a scratch buffer reused across
 // calls, so its cost is O(touched rows), independent of the geometry.
-func (d *DRAM) HammerStats() Stats {
-	d.rotateWindow()
-	return d.stats()
+func (d *DRAM) HammerStats() Stats { return d.def.HammerStats() }
+
+// HammerStats is DRAM.HammerStats with rotation checked against this
+// port's clock; the returned Stats carry this port's core index.
+func (p *Port) HammerStats() Stats {
+	d := p.d
+	d.rotateWindow(p.clock.Now(), p.core)
+	s := d.stats()
+	s.Core = p.core
+	return s
 }
 
 // stats computes the current window's Stats without checking for

@@ -27,6 +27,11 @@
 // (machine.Config.FaultModel), and costs nothing when unset: every
 // hook sits behind a nil check the hot path caches. The counters in
 // Stats are the ground truth a Verdict reports as "faults observed".
+//
+// In the multi-core mode one bound Model serves every core: the
+// deterministic interleaver runs exactly one core's quantum at a time,
+// so the Model's hooks and rng are never entered concurrently and
+// draw in a schedule-determined (hence reproducible) order.
 package fault
 
 import (

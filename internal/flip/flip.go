@@ -134,6 +134,10 @@ type Flip struct {
 	// Window is the 1-based index of the victim report that produced
 	// the flip, counting every report the model processed.
 	Window uint64
+	// Core is the core the window report was attributed to (the core
+	// whose access rotated the refresh window — see dram.Stats.Core).
+	// Always 0 on a single-core machine.
+	Core int
 }
 
 // Model applies a Profile to one machine's memory. Create it with
@@ -290,7 +294,7 @@ func (m *Model) OnWindow(s dram.Stats) {
 			m.flips = append(m.flips, Flip{
 				Addr: addr, Bit: bit, OneToZero: oneToZero,
 				Channel: loc.Channel, Rank: loc.Rank, Bank: loc.Bank, Row: loc.Row,
-				Pressure: v.Pressure, Window: m.windows,
+				Pressure: v.Pressure, Window: m.windows, Core: s.Core,
 			})
 			if m.inj != nil {
 				m.inj.ObserveFlip(loc)

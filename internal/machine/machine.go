@@ -102,9 +102,15 @@ func SandyBridge() Config {
 	}
 }
 
-// Machine owns the shared simulator state and the wired device chain.
+// Machine owns one core's front-end — clock, counters, TLB chain,
+// walker, private cache levels — plus handles to the state it shares
+// with any co-resident cores: physical memory, the inclusive LLC, the
+// banked DRAM, and its address space's page tables. A single-core
+// machine (New) owns all of that state outright; NewMulti builds N
+// Machines over one shared memory system.
 type Machine struct {
 	cfg      Config
+	core     int
 	mem      *phys.Memory
 	clock    *timing.Clock
 	noise    *timing.Noise
@@ -115,6 +121,7 @@ type Machine struct {
 	tables *pagetable.Tables
 	caches *cache.Hierarchy
 	dram   *dram.DRAM
+	dport  *dram.Port
 
 	// noisy caches NoiseProb != 0 so the quiet (deterministic) hot path
 	// skips the noise sampler entirely; faulty does the same for the
@@ -130,16 +137,28 @@ type Machine struct {
 	privInvlpgs uint64
 }
 
-// New validates the config and wires the machine.
-func New(cfg Config) (*Machine, error) {
+// validate checks the config invariants shared by New and NewMulti.
+func (cfg Config) validate() error {
 	if err := cfg.Lat.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if err := cfg.DRAM.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if cap := cfg.DRAM.Capacity(); cap != cfg.MemBytes {
-		return nil, fmt.Errorf("machine: DRAM capacity %d != memory size %d", cap, cfg.MemBytes)
+		return fmt.Errorf("machine: DRAM capacity %d != memory size %d", cap, cfg.MemBytes)
+	}
+	return nil
+}
+
+// New validates the config and wires a single-core machine: the core's
+// front-end built by buildCore over memory, LLC and DRAM it has all to
+// itself, with the page-table pool contiguous at the top of physical
+// memory — the layout every single-core scenario and benchmark is
+// calibrated against.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	pmem, err := phys.New(cfg.MemBytes)
 	if err != nil {
@@ -149,17 +168,12 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	noise, err := timing.NewNoise(cfg.NoiseSeed, cfg.NoiseProb, cfg.NoiseMin, cfg.NoiseMax)
-	if err != nil {
-		return nil, err
-	}
 	counters := &perf.Counters{}
-
 	d, err := dram.New(cfg.DRAM, clock, counters, cfg.Lat)
 	if err != nil {
 		return nil, err
 	}
-	caches, err := cache.New(cfg.L1, cfg.L2, cfg.LLC, d, clock, counters, cfg.Lat)
+	shared, err := cache.NewShared(cfg.LLC, cfg.Lat)
 	if err != nil {
 		return nil, err
 	}
@@ -172,6 +186,37 @@ func New(cfg Config) (*Machine, error) {
 			cfg.MemBytes, tableFrames)
 	}
 	tables, err := pagetable.New(pmem, phys.Frame(totalFrames-tableFrames), tableFrames)
+	if err != nil {
+		return nil, err
+	}
+	m, err := buildCore(cfg, 0, pmem, clock, counters, d, shared, tables)
+	if err != nil {
+		return nil, err
+	}
+	if err := bindModels(cfg, pmem, d); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// buildCore wires one core's front-end — noise source, DRAM port,
+// private cache levels over the shared LLC, page walker and TLB chain
+// — charging everything to the given clock and counters. The caller
+// owns the shared pieces (memory, DRAM, LLC, the core's address-space
+// tables) and binds any flip/fault models afterwards.
+func buildCore(cfg Config, core int, pmem *phys.Memory, clock *timing.Clock, counters *perf.Counters, d *dram.DRAM, shared *cache.SharedLLC, tables *pagetable.Tables) (*Machine, error) {
+	// Offset the seed per core so noisy cores draw independent spike
+	// streams; with NoiseProb 0 (the multi-core determinism default)
+	// the source is never sampled.
+	noise, err := timing.NewNoise(cfg.NoiseSeed+int64(core), cfg.NoiseProb, cfg.NoiseMin, cfg.NoiseMax)
+	if err != nil {
+		return nil, err
+	}
+	dport, err := d.NewPort(core, clock, counters)
+	if err != nil {
+		return nil, err
+	}
+	caches, err := cache.NewCore(cfg.L1, cfg.L2, shared, core, dport, clock, counters, cfg.Lat)
 	if err != nil {
 		return nil, err
 	}
@@ -189,27 +234,9 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Bind the flip and fault models last: Bind is one-shot, and binding
-	// before a later constructor could fail would poison the model for a
-	// retried New with a corrected config.
-	if cfg.FlipModel != nil {
-		if err := cfg.FlipModel.Bind(pmem, cfg.DRAM); err != nil {
-			return nil, err
-		}
-		d.SetWindowHook(cfg.FlipModel.OnWindow)
-	}
-	if cfg.FaultModel != nil {
-		if err := cfg.FaultModel.Bind(cfg.DRAM); err != nil {
-			return nil, err
-		}
-		if cfg.FlipModel != nil {
-			if err := cfg.FlipModel.SetInjector(cfg.FaultModel); err != nil {
-				return nil, err
-			}
-		}
-	}
 	return &Machine{
 		cfg:      cfg,
+		core:     core,
 		mem:      pmem,
 		clock:    clock,
 		noise:    noise,
@@ -219,9 +246,34 @@ func New(cfg Config) (*Machine, error) {
 		tables:   tables,
 		caches:   caches,
 		dram:     d,
+		dport:    dport,
 		noisy:    cfg.NoiseProb != 0,
 		faulty:   cfg.FaultModel != nil,
 	}, nil
+}
+
+// bindModels attaches the configured flip and fault models to the
+// machine's memory system. It runs last — Bind is one-shot, and
+// binding before a later constructor could fail would poison the model
+// for a retried New with a corrected config.
+func bindModels(cfg Config, pmem *phys.Memory, d *dram.DRAM) error {
+	if cfg.FlipModel != nil {
+		if err := cfg.FlipModel.Bind(pmem, cfg.DRAM); err != nil {
+			return err
+		}
+		d.SetWindowHook(cfg.FlipModel.OnWindow)
+	}
+	if cfg.FaultModel != nil {
+		if err := cfg.FaultModel.Bind(cfg.DRAM); err != nil {
+			return err
+		}
+		if cfg.FlipModel != nil {
+			if err := cfg.FlipModel.SetInjector(cfg.FaultModel); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // MustNew is New but panics on error; intended for tests and presets.
@@ -469,7 +521,8 @@ func (m *Machine) Flush(a phys.Addr) timing.Cycles {
 
 // HammerStats reports the DRAM's per-refresh-window activation
 // bookkeeping: total ACTs and which rows are currently hammer-eligible.
-func (m *Machine) HammerStats() dram.Stats { return m.dram.HammerStats() }
+// Window rotation is checked against this core's clock.
+func (m *Machine) HammerStats() dram.Stats { return m.dport.HammerStats() }
 
 // ResetRefreshWindow discards the DRAM's current refresh window —
 // activation counts and victim pressure drop to zero, banks precharge,
@@ -477,7 +530,7 @@ func (m *Machine) HammerStats() dram.Stats { return m.dram.HammerStats() }
 // construction (aggressor discovery, eviction-set building) calls it
 // so the first measured window starts from zero pressure instead of
 // inheriting construction traffic.
-func (m *Machine) ResetRefreshWindow() { m.dram.ResetWindow() }
+func (m *Machine) ResetRefreshWindow() { m.dport.ResetWindow() }
 
 // Flips returns the disturbance errors the configured flip model has
 // produced so far, in occurrence order, or nil when the machine was
@@ -501,7 +554,11 @@ func (m *Machine) FaultModel() *fault.Model { return m.cfg.FaultModel }
 // Accessors for the shared state; algorithm code reads these the way
 // the paper's tooling reads rdtsc and the PMC kernel module.
 
-// Clock returns the machine's cycle clock.
+// Core returns this front-end's core index: 0 on a single-core
+// machine, the position in the NewMulti core list otherwise.
+func (m *Machine) Core() int { return m.core }
+
+// Clock returns this core's cycle clock.
 func (m *Machine) Clock() *timing.Clock { return m.clock }
 
 // Counters returns the machine's performance-counter bank.

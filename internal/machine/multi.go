@@ -1,0 +1,249 @@
+package machine
+
+import (
+	"fmt"
+
+	"pthammer/internal/cache"
+	"pthammer/internal/core"
+	"pthammer/internal/dram"
+	"pthammer/internal/pagetable"
+	"pthammer/internal/perf"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+)
+
+// MultiConfig describes a multi-tenant machine: Cores front-ends (each
+// a full Machine: own clock, counters, L1/L2, TLB chain, walker) over
+// one physical memory, one inclusive LLC and one banked DRAM.
+type MultiConfig struct {
+	Config
+
+	// Cores is the number of per-core front-ends.
+	Cores int
+
+	// Tenants assigns each core an address space: cores with the same
+	// tenant index share one set of page tables (threads of one
+	// process), cores with different indices get disjoint table pools
+	// (co-located users). Nil means every core is tenant 0. Tenant
+	// indices must be dense: every index in [0, max+1) must own at
+	// least one core.
+	//
+	// Tenant table pools are striped across DRAM row indices at the top
+	// of physical memory — tenant t owns the row indices congruent to t
+	// modulo the tenant count — so different tenants' page tables land
+	// in physically adjacent rows of the same banks. That is the
+	// cross-tenant attack surface: an attacker hammering its own
+	// tables' rows puts disturbance pressure on a victim tenant's PTEs
+	// one row away (PAPER.md §II's threat model, which the single-core
+	// machine cannot express).
+	Tenants []int
+}
+
+// MultiMachine is Cores front-ends over one shared memory system. Each
+// front-end is a *Machine whose shared handles (Memory, DRAM, the LLC
+// behind Caches) alias every other core's; drive them concurrently
+// with Run, which serialises quanta under the deterministic
+// interleaver in internal/core.
+type MultiMachine struct {
+	cfg     MultiConfig
+	mem     *phys.Memory
+	dram    *dram.DRAM
+	shared  *cache.SharedLLC
+	cores   []*Machine
+	tenants []int
+	tables  []*pagetable.Tables
+}
+
+// tenantCount validates the tenant assignment and returns the number
+// of tenants.
+func tenantCount(cores int, tenants []int) (int, error) {
+	if tenants == nil {
+		return 1, nil
+	}
+	if len(tenants) != cores {
+		return 0, fmt.Errorf("machine: %d tenant assignments for %d cores", len(tenants), cores)
+	}
+	max := 0
+	for i, t := range tenants {
+		if t < 0 {
+			return 0, fmt.Errorf("machine: core %d has negative tenant %d", i, t)
+		}
+		if t > max {
+			max = t
+		}
+	}
+	seen := make([]bool, max+1)
+	for _, t := range tenants {
+		seen[t] = true
+	}
+	for t, ok := range seen {
+		if !ok {
+			return 0, fmt.Errorf("machine: tenant indices not dense: %d unused below max %d", t, max)
+		}
+	}
+	return max + 1, nil
+}
+
+// tenantPools carves the top of physical memory into per-tenant
+// page-table pools striped across DRAM row indices: with T tenants,
+// tenant t owns the row indices congruent to t (mod T) within the
+// reserved region, each row index spanning one row of every bank. Each
+// pool holds at least FramesToMap frames, so no tenant can exhaust its
+// tables.
+func tenantPools(cfg Config, tenantN int) ([][]phys.Frame, error) {
+	rowSpan := uint64(cfg.DRAM.TotalBanks()) * cfg.DRAM.RowBytes
+	rowFrames := rowSpan / phys.FrameSize
+	framesPerTenant := pagetable.FramesToMap(cfg.MemBytes)
+	rowsPerTenant := (framesPerTenant + rowFrames - 1) / rowFrames
+	totalRows := cfg.MemBytes / rowSpan
+	reservedRows := rowsPerTenant * uint64(tenantN)
+	if reservedRows >= totalRows {
+		return nil, fmt.Errorf("machine: %d-byte memory too small for %d tenants × %d table rows",
+			cfg.MemBytes, tenantN, rowsPerTenant)
+	}
+	startRow := totalRows - reservedRows
+	pools := make([][]phys.Frame, tenantN)
+	for t := range pools {
+		pool := make([]phys.Frame, 0, rowsPerTenant*rowFrames)
+		for r := startRow + uint64(t); r < totalRows; r += uint64(tenantN) {
+			first := phys.Frame(r * rowFrames)
+			for k := uint64(0); k < rowFrames; k++ {
+				pool = append(pool, first+phys.Frame(k))
+			}
+		}
+		pools[t] = pool
+	}
+	return pools, nil
+}
+
+// NewMulti validates the config and wires the multi-tenant machine:
+// shared memory, DRAM and LLC first, then one front-end per core, each
+// attached to its tenant's page tables. Flip and fault models bind to
+// the shared memory system exactly as on a single-core machine — one
+// model serves every core, with reports attributed to the core whose
+// access triggered them.
+func NewMulti(cfg MultiConfig) (*MultiMachine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("machine: need at least one core (got %d)", cfg.Cores)
+	}
+	tenantN, err := tenantCount(cfg.Cores, cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	tenants := cfg.Tenants
+	if tenants == nil {
+		tenants = make([]int, cfg.Cores)
+	}
+
+	pmem, err := phys.New(cfg.MemBytes)
+	if err != nil {
+		return nil, err
+	}
+	pools, err := tenantPools(cfg.Config, tenantN)
+	if err != nil {
+		return nil, err
+	}
+	tables := make([]*pagetable.Tables, tenantN)
+	for t := range tables {
+		if tables[t], err = pagetable.NewWithFrames(pmem, pools[t]); err != nil {
+			return nil, err
+		}
+	}
+
+	clocks := make([]*timing.Clock, cfg.Cores)
+	counters := make([]*perf.Counters, cfg.Cores)
+	for i := range clocks {
+		if clocks[i], err = timing.NewClock(cfg.FreqHz); err != nil {
+			return nil, err
+		}
+		counters[i] = &perf.Counters{}
+	}
+	// The shared DRAM's default port is core 0 — its bookkeeping
+	// methods (and the single-device Lookup path, which multi-core code
+	// never uses) charge core 0's clock.
+	d, err := dram.New(cfg.DRAM, clocks[0], counters[0], cfg.Lat)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := cache.NewShared(cfg.LLC, cfg.Lat)
+	if err != nil {
+		return nil, err
+	}
+
+	mm := &MultiMachine{
+		cfg:     cfg,
+		mem:     pmem,
+		dram:    d,
+		shared:  shared,
+		cores:   make([]*Machine, cfg.Cores),
+		tenants: tenants,
+		tables:  tables,
+	}
+	for i := range mm.cores {
+		if mm.cores[i], err = buildCore(cfg.Config, i, pmem, clocks[i], counters[i], d, shared, tables[tenants[i]]); err != nil {
+			return nil, err
+		}
+	}
+	if err := bindModels(cfg.Config, pmem, d); err != nil {
+		return nil, err
+	}
+	return mm, nil
+}
+
+// MustNewMulti is NewMulti but panics on error.
+func MustNewMulti(cfg MultiConfig) *MultiMachine {
+	mm, err := NewMulti(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return mm
+}
+
+// NumCores returns how many front-ends the machine has.
+func (mm *MultiMachine) NumCores() int { return len(mm.cores) }
+
+// Core returns core i's front-end. Anything done through it outside a
+// Run body executes unscheduled — fine for setup and inspection, wrong
+// for the measured phase of a scenario.
+func (mm *MultiMachine) Core(i int) *Machine { return mm.cores[i] }
+
+// Tenant returns the tenant index core i belongs to.
+func (mm *MultiMachine) Tenant(i int) int { return mm.tenants[i] }
+
+// Tenants returns how many tenants the machine hosts.
+func (mm *MultiMachine) Tenants() int { return len(mm.tables) }
+
+// Tables returns tenant t's page tables.
+func (mm *MultiMachine) Tables(t int) *pagetable.Tables { return mm.tables[t] }
+
+// Memory returns the shared physical memory.
+func (mm *MultiMachine) Memory() *phys.Memory { return mm.mem }
+
+// DRAM returns the shared DRAM device.
+func (mm *MultiMachine) DRAM() *dram.DRAM { return mm.dram }
+
+// Config returns the configuration the machine was built with.
+func (mm *MultiMachine) Config() MultiConfig { return mm.cfg }
+
+// Run drives every core's body concurrently under the deterministic
+// interleaver: body(i, core i's front-end, yield) runs in its own
+// goroutine, but quanta are serialised lowest-clock-first (ties to the
+// lowest core index), so the interleaving — and everything it does to
+// shared state — is bit-identical for any GOMAXPROCS value. Bodies
+// must call yield between quanta (every few accesses) and must not
+// touch another core's front-end. Returns the interleaver's grant log;
+// see internal/core.
+func (mm *MultiMachine) Run(body func(i int, m *Machine, yield func())) []int {
+	streams := make([]core.Stream, len(mm.cores))
+	for i := range mm.cores {
+		i, m := i, mm.cores[i]
+		streams[i] = core.Stream{
+			Now: m.clock.Now,
+			Run: func(yield func()) { body(i, m, yield) },
+		}
+	}
+	return core.Run(streams)
+}

@@ -11,6 +11,12 @@
 // Latency it reports (devices that forward a miss report the serving
 // device's latency and advance nothing themselves). That is what keeps
 // counter deltas and timing histograms consistent by construction.
+// In the multi-core mode a shared device is reached through per-core
+// ports (cache.Hierarchy over cache.SharedLLC, dram.Port over dram.DRAM)
+// and the contract holds per port: whatever shared state a lookup
+// mutates, the full reported latency — including any arbitration
+// surcharge for crossing behind another core — is charged to the
+// accessing core's clock and counters, never to another core's.
 package mem
 
 import (

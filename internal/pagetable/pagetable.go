@@ -101,44 +101,69 @@ func FramesToMap(memBytes uint64) uint64 {
 	return 1 + pdpts + pds + pts
 }
 
-// Tables is one address space: a root (CR3) table plus the bump
-// allocator handing out table frames from the reserved region.
+// Tables is one address space: a root (CR3) table plus a bump
+// allocator handing out table frames from its pool. The pool is an
+// explicit frame list so one machine can host several address spaces
+// whose pools interleave (the multi-tenant mode stripes tenants'
+// pools across DRAM row indices, putting different tenants' tables in
+// physically adjacent rows of the same banks — the cross-tenant attack
+// surface); the single-core machine uses the contiguous pool New
+// builds, so its layout is unchanged.
 type Tables struct {
-	mem    *phys.Memory
-	base   phys.Frame
-	frames uint64
-	next   uint64
-	root   phys.Frame
+	mem  *phys.Memory
+	pool []phys.Frame
+	next int
+	root phys.Frame
 }
 
 // New creates an address space whose table frames come from the
-// region [base, base+frames). The root table is allocated (and
-// zeroed) immediately.
+// contiguous region [base, base+frames). The root table is allocated
+// (and zeroed) immediately.
 func New(m *phys.Memory, base phys.Frame, frames uint64) (*Tables, error) {
 	if m == nil {
 		return nil, fmt.Errorf("pagetable: memory must be non-nil")
 	}
-	if frames == 0 {
-		return nil, fmt.Errorf("pagetable: table region must hold at least the root frame")
-	}
 	end := (uint64(base) + frames) * phys.FrameSize
-	if end > m.Size() || end < uint64(base)*phys.FrameSize {
+	if frames > 0 && (end > m.Size() || end < uint64(base)*phys.FrameSize) {
 		return nil, fmt.Errorf("pagetable: region [%#x, %#x) outside %d-byte memory",
 			base.Addr(), end, m.Size())
 	}
-	t := &Tables{mem: m, base: base, frames: frames}
+	pool := make([]phys.Frame, frames)
+	for i := range pool {
+		pool[i] = base + phys.Frame(i)
+	}
+	return NewWithFrames(m, pool)
+}
+
+// NewWithFrames creates an address space whose table frames come from
+// the given pool, handed out in order. The pool need not be contiguous
+// or sorted; it must be non-empty (the root is allocated immediately)
+// and every frame must lie inside memory.
+func NewWithFrames(m *phys.Memory, pool []phys.Frame) (*Tables, error) {
+	if m == nil {
+		return nil, fmt.Errorf("pagetable: memory must be non-nil")
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("pagetable: table pool must hold at least the root frame")
+	}
+	for _, f := range pool {
+		if uint64(f.Addr())+phys.FrameSize > m.Size() {
+			return nil, fmt.Errorf("pagetable: pool frame %#x outside %d-byte memory", f.Addr(), m.Size())
+		}
+	}
+	t := &Tables{mem: m, pool: pool}
 	t.root = t.alloc()
 	return t, nil
 }
 
-// alloc hands out the next table frame, zeroed. Exhausting the region
+// alloc hands out the next table frame, zeroed. Exhausting the pool
 // panics: the machine sizes it with FramesToMap, so running out is a
 // simulator bug, not a runtime condition.
 func (t *Tables) alloc() phys.Frame {
-	if t.next == t.frames {
-		panic(fmt.Sprintf("pagetable: region of %d frames exhausted", t.frames))
+	if t.next == len(t.pool) {
+		panic(fmt.Sprintf("pagetable: pool of %d frames exhausted", len(t.pool)))
 	}
-	f := t.base + phys.Frame(t.next)
+	f := t.pool[t.next]
 	t.next++
 	t.mem.ZeroFrame(f)
 	return f
@@ -150,10 +175,30 @@ func (t *Tables) alloc() phys.Frame {
 func (t *Tables) Root() phys.Frame { return t.root }
 
 // Allocated returns how many table frames have been handed out.
-func (t *Tables) Allocated() int { return int(t.next) }
+func (t *Tables) Allocated() int { return t.next }
 
-// Region returns the table-frame pool as [base, base+frames).
-func (t *Tables) Region() (base phys.Frame, frames uint64) { return t.base, t.frames }
+// Frames returns the table frames handed out so far, in allocation
+// order (the root first). The slice aliases internal state: read only.
+func (t *Tables) Frames() []phys.Frame { return t.pool[:t.next] }
+
+// Region returns the bounding box of the table-frame pool as
+// [base, base+frames). For the contiguous pool New builds this is
+// exactly the pool; for an interleaved pool it may cover frames that
+// belong to other address spaces, which is the conservative direction
+// for every current caller (they use it to keep attacker surfaces
+// away from table frames).
+func (t *Tables) Region() (base phys.Frame, frames uint64) {
+	lo, hi := t.pool[0], t.pool[0]
+	for _, f := range t.pool[1:] {
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	return lo, uint64(hi-lo) + 1
+}
 
 // Map installs va → frame, allocating any missing intermediate tables.
 // An existing mapping is overwritten.
@@ -190,7 +235,7 @@ func (t *Tables) EntryAddr(va phys.Addr, level int) (phys.Addr, bool) {
 	table := t.root
 	for l := Levels; l > level; l-- {
 		e := Entry(t.mem.Read64(EntryAddrIn(table, va, l)))
-		if !e.Present() {
+		if !e.Present() || !t.inMemory(e.Frame()) {
 			return 0, false
 		}
 		table = e.Frame()
@@ -200,16 +245,27 @@ func (t *Tables) EntryAddr(va phys.Addr, level int) (phys.Addr, bool) {
 
 // Resolve walks the tables without charging any simulated time and
 // returns the frame va maps to. ok is false when the path is
-// incomplete. This is the reference translation tests compare the
-// timed walker (and corrupted tables) against.
+// incomplete — including when a (possibly flip-corrupted) entry points
+// outside physical memory, which on real hardware is a machine-check,
+// not something a software walk can follow. This is the reference
+// translation tests compare the timed walker (and corrupted tables)
+// against.
 func (t *Tables) Resolve(va phys.Addr) (phys.Frame, bool) {
 	table := t.root
 	for level := Levels; level >= 1; level-- {
 		e := Entry(t.mem.Read64(EntryAddrIn(table, va, level)))
-		if !e.Present() {
+		if !e.Present() || !t.inMemory(e.Frame()) {
 			return 0, false
 		}
 		table = e.Frame()
 	}
 	return table, true
+}
+
+// inMemory reports whether the frame lies entirely inside physical
+// memory. Uncorrupted tables always point inside (Map only installs
+// real frames); a rowhammer flip in a high bit of an entry's frame
+// number can point anywhere in the 52-bit space.
+func (t *Tables) inMemory(f phys.Frame) bool {
+	return uint64(f.Addr())+phys.FrameSize <= t.mem.Size()
 }

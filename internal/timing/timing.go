@@ -97,6 +97,18 @@ type LatencyTable struct {
 	// CLFlushCost models the clflush instruction used by the explicit
 	// baseline.
 	CLFlushCost Cycles
+
+	// LLCArbitration is the extra cost of an LLC access that has to win
+	// the shared slice back from another core: it is charged only when
+	// the previous LLC access came from a different core, so a
+	// single-core machine never pays it. Zero disables the charge.
+	LLCArbitration Cycles
+
+	// DRAMBankArbitration is the per-bank analogue: the scheduling
+	// penalty when consecutive requests to one bank come from different
+	// cores. Like LLCArbitration it can never fire on a single-core
+	// machine and may be zero.
+	DRAMBankArbitration Cycles
 }
 
 // DefaultLatencies returns a latency table with Sandy/Ivy Bridge-class
@@ -115,6 +127,11 @@ func DefaultLatencies() LatencyTable {
 		PageWalkStep:    3,
 		NOP:             1,
 		CLFlushCost:     40,
+		// Contention costs for the multi-core mode; a single-core
+		// machine never charges either (there is no other core to have
+		// touched the shared structure since the last access).
+		LLCArbitration:      8,
+		DRAMBankArbitration: 24,
 	}
 }
 
