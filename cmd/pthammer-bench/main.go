@@ -14,8 +14,14 @@
 //	pthammer-bench -C DIR      look for baselines (and write reports) in DIR
 //	pthammer-bench -check      regression gate: rerun and exit non-zero
 //	                           if any steady-state scenario regresses
-//	                           >25% vs. the latest committed
+//	                           >25% vs. the newest usable committed
 //	                           BENCH_NNNN.json or allocates per op
+//
+// Baseline discovery walks the committed BENCH_NNNN.json files newest
+// to oldest and compares against the first that parses and validates
+// (right tool, right preset, non-empty go_version, non-empty scenario
+// list); broken files are skipped with a warning, and -check exits 4
+// only when none is usable.
 //
 // -check is wired into CI so hot-path regressions fail the PR that
 // introduces them, not the next perf PR.
@@ -33,6 +39,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"testing"
 
@@ -119,6 +126,70 @@ func loadReport(path string) (report, error) {
 		return rep, fmt.Errorf("%s: %w", path, err)
 	}
 	return rep, nil
+}
+
+// validateBaseline decides whether a parsed report can serve as a
+// comparison baseline. A report from a different tool or preset would
+// make every ns/op ratio meaningless; a report with no go_version or
+// no scenarios is a truncated or hand-mangled file. A *different*
+// go_version is fine — toolchain upgrades are exactly what the 25%
+// regression allowance absorbs.
+func validateBaseline(rep report) error {
+	switch {
+	case rep.Tool != "pthammer-bench":
+		return fmt.Errorf("tool %q, want %q", rep.Tool, "pthammer-bench")
+	case rep.Preset != "SandyBridge":
+		return fmt.Errorf("preset %q, want %q", rep.Preset, "SandyBridge")
+	case rep.GoVersion == "":
+		return fmt.Errorf("missing go_version")
+	case len(rep.Scenarios) == 0:
+		return fmt.Errorf("no scenarios")
+	}
+	return nil
+}
+
+// usableBaseline walks the committed BENCH_NNNN.json files newest to
+// oldest and returns the first one that parses and validates, warning
+// on stderr for every file it skips. Before this walk existed the tool
+// blindly trusted the highest-numbered file, so one corrupt or
+// foreign-preset report silently disabled (or poisoned) the CI gate;
+// now a bad newest file degrades to the previous good one, visibly.
+// ok is false when no usable baseline exists at all.
+func usableBaseline(dir string, warn io.Writer) (path string, rep report, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", report{}, false, err
+	}
+	type cand struct {
+		num  int
+		path string
+	}
+	var cands []cand
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, convErr := strconv.Atoi(m[1])
+		if convErr != nil {
+			continue
+		}
+		cands = append(cands, cand{n, filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].num > cands[j].num })
+	for _, c := range cands {
+		rep, loadErr := loadReport(c.path)
+		if loadErr != nil {
+			fmt.Fprintf(warn, "pthammer-bench: skipping baseline %s: %v\n", c.path, loadErr)
+			continue
+		}
+		if valErr := validateBaseline(rep); valErr != nil {
+			fmt.Fprintf(warn, "pthammer-bench: skipping baseline %s: %v\n", c.path, valErr)
+			continue
+		}
+		return c.path, rep, true, nil
+	}
+	return "", report{}, false, nil
 }
 
 // measure runs every scenario, best of three (the minimum is the least
@@ -230,7 +301,15 @@ func run(args []string, stdout, stderr io.Writer, measureFn func() []scenarioRes
 		return exitUsage
 	}
 
-	basePath, baseNum, haveBase, err := latestBaseline(*dir)
+	// The output number always continues from the highest-numbered file,
+	// usable or not, so a fresh report never overwrites a quarantined
+	// one; the comparison baseline is the newest file that validates.
+	_, baseNum, _, err := latestBaseline(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "pthammer-bench:", err)
+		return exitBaseline
+	}
+	basePath, baseline, haveBase, err := usableBaseline(*dir, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "pthammer-bench:", err)
 		return exitBaseline
@@ -238,12 +317,7 @@ func run(args []string, stdout, stderr io.Writer, measureFn func() []scenarioRes
 
 	if *checkMode {
 		if !haveBase {
-			fmt.Fprintf(stderr, "pthammer-bench: -check needs a committed BENCH_NNNN.json baseline in %s\n", *dir)
-			return exitBaseline
-		}
-		baseline, err := loadReport(basePath)
-		if err != nil {
-			fmt.Fprintln(stderr, "pthammer-bench: corrupt baseline:", err)
+			fmt.Fprintf(stderr, "pthammer-bench: -check needs a usable BENCH_NNNN.json baseline in %s\n", *dir)
 			return exitBaseline
 		}
 		failures, notes, compared := check(measureFn(), baseline, basePath)
@@ -278,11 +352,6 @@ func run(args []string, stdout, stderr io.Writer, measureFn func() []scenarioRes
 	var baseNs map[string]float64
 	if haveBase {
 		rep.BaselineFile = filepath.Base(basePath)
-		baseline, err := loadReport(basePath)
-		if err != nil {
-			fmt.Fprintln(stderr, "pthammer-bench: corrupt baseline:", err)
-			return exitBaseline
-		}
 		baseNs = make(map[string]float64, len(baseline.Scenarios))
 		for _, s := range baseline.Scenarios {
 			baseNs[s.Name] = s.NsPerOp

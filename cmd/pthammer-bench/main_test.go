@@ -12,6 +12,12 @@ func steadyResult(name string, ns float64, allocs int64) scenarioResult {
 	return scenarioResult{Name: name, NsPerOp: ns, AllocsPerOp: allocs, SteadyState: true}
 }
 
+// validBaseline wraps a scenarios fragment in the header fields
+// usableBaseline requires of a committed report.
+func validBaseline(scenarios string) string {
+	return `{"tool":"pthammer-bench","go_version":"go1.24.0","preset":"SandyBridge","scenarios":[` + scenarios + `]}`
+}
+
 // TestCheckDiffsOnlySharedScenarios: a newly added scenario is never
 // ns-compared (its number would otherwise trip the gate on first
 // landing), a removed one only produces a note, and a genuinely
@@ -89,7 +95,7 @@ func TestCheckSkipsUnusableBaseline(t *testing.T) {
 func TestCheckWarnsOnZeroComparisons(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "BENCH_0001.json"),
-		[]byte(`{"scenarios":[{"name":"retired-loop","ns_per_op":50,"steady_state":true}]}`), 0o644); err != nil {
+		[]byte(validBaseline(`{"name":"retired-loop","ns_per_op":50,"steady_state":true}`)), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	measure := func() []scenarioResult {
@@ -163,9 +169,8 @@ func TestRunErrorPaths(t *testing.T) {
 	}{
 		{"unknown flag", []string{"-no-such-flag"}, exitUsage, "flag provided but not defined"},
 		{"stray arguments", []string{"extra"}, exitUsage, "unexpected arguments"},
-		{"check without baseline", []string{"-C", empty, "-check"}, exitBaseline, "needs a committed BENCH_NNNN.json baseline"},
-		{"check with corrupt baseline", []string{"-C", corrupt, "-check"}, exitBaseline, "corrupt baseline"},
-		{"write with corrupt baseline", []string{"-C", corrupt}, exitBaseline, "corrupt baseline"},
+		{"check without baseline", []string{"-C", empty, "-check"}, exitBaseline, "needs a usable BENCH_NNNN.json baseline"},
+		{"check with only a corrupt baseline", []string{"-C", corrupt, "-check"}, exitBaseline, "skipping baseline"},
 		{"unreadable baseline dir", []string{"-C", "/nonexistent-dir"}, exitBaseline, "no such file or directory"},
 	}
 	for _, tc := range cases {
@@ -189,6 +194,180 @@ func TestRunErrorPaths(t *testing.T) {
 	}
 }
 
+// TestUsableBaselineFallback is the discovery contract: the newest
+// BENCH_NNNN.json that parses AND validates wins; every newer file that
+// does not is skipped with a stderr warning naming it; and a different
+// (but non-empty) go_version is not a reason to skip.
+func TestUsableBaselineFallback(t *testing.T) {
+	good := validBaseline(`{"name":"warm-load","ns_per_op":100,"steady_state":true}`)
+	cases := []struct {
+		name     string
+		files    map[string]string
+		wantPath string // base name of the chosen baseline; "" = none usable
+		wantWarn []string
+	}{
+		{
+			name: "wrong preset falls back",
+			files: map[string]string{
+				"BENCH_0001.json": good,
+				"BENCH_0009.json": `{"tool":"pthammer-bench","go_version":"go1.24.0","preset":"Skylake","scenarios":[{"name":"x","ns_per_op":1}]}`,
+			},
+			wantPath: "BENCH_0001.json",
+			wantWarn: []string{`BENCH_0009.json: preset "Skylake"`},
+		},
+		{
+			name: "wrong tool falls back",
+			files: map[string]string{
+				"BENCH_0001.json": good,
+				"BENCH_0002.json": `{"tool":"benchstat","go_version":"go1.24.0","preset":"SandyBridge","scenarios":[{"name":"x","ns_per_op":1}]}`,
+			},
+			wantPath: "BENCH_0001.json",
+			wantWarn: []string{`BENCH_0002.json: tool "benchstat"`},
+		},
+		{
+			name: "empty go_version falls back",
+			files: map[string]string{
+				"BENCH_0001.json": good,
+				"BENCH_0002.json": `{"tool":"pthammer-bench","preset":"SandyBridge","scenarios":[{"name":"x","ns_per_op":1}]}`,
+			},
+			wantPath: "BENCH_0001.json",
+			wantWarn: []string{"BENCH_0002.json: missing go_version"},
+		},
+		{
+			name: "corrupt JSON falls back",
+			files: map[string]string{
+				"BENCH_0001.json": good,
+				"BENCH_0002.json": "{truncated",
+			},
+			wantPath: "BENCH_0001.json",
+			wantWarn: []string{"BENCH_0002.json"},
+		},
+		{
+			name: "no scenarios falls back",
+			files: map[string]string{
+				"BENCH_0001.json": good,
+				"BENCH_0002.json": `{"tool":"pthammer-bench","go_version":"go1.24.0","preset":"SandyBridge","scenarios":[]}`,
+			},
+			wantPath: "BENCH_0001.json",
+			wantWarn: []string{"BENCH_0002.json: no scenarios"},
+		},
+		{
+			name: "different go_version is accepted",
+			files: map[string]string{
+				"BENCH_0001.json": good,
+				"BENCH_0002.json": `{"tool":"pthammer-bench","go_version":"go1.21.0","preset":"SandyBridge","scenarios":[{"name":"x","ns_per_op":1}]}`,
+			},
+			wantPath: "BENCH_0002.json",
+		},
+		{
+			name: "all unusable",
+			files: map[string]string{
+				"BENCH_0001.json": "{truncated",
+				"BENCH_0002.json": `{"tool":"benchstat"}`,
+			},
+			wantPath: "",
+			wantWarn: []string{"BENCH_0001.json", "BENCH_0002.json"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			for name, body := range tc.files {
+				if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var warn bytes.Buffer
+			path, rep, ok, err := usableBaseline(dir, &warn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != (tc.wantPath != "") {
+				t.Fatalf("ok = %v, want %v (warnings: %s)", ok, tc.wantPath != "", warn.String())
+			}
+			if ok {
+				if filepath.Base(path) != tc.wantPath {
+					t.Fatalf("picked %s, want %s", filepath.Base(path), tc.wantPath)
+				}
+				if len(rep.Scenarios) == 0 {
+					t.Fatal("chosen baseline came back without scenarios")
+				}
+			}
+			for _, w := range tc.wantWarn {
+				if !strings.Contains(warn.String(), w) {
+					t.Fatalf("warnings missing %q:\n%s", w, warn.String())
+				}
+			}
+		})
+	}
+}
+
+// TestRunCheckFailsWhenAllBaselinesUnusable: the gate must refuse to
+// vacuously pass when every committed baseline is broken — exit 4, with
+// each skipped file named, before any benchmark runs.
+func TestRunCheckFailsWhenAllBaselinesUnusable(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"BENCH_0001.json": "{not json",
+		"BENCH_0002.json": `{"tool":"pthammer-bench","go_version":"go1.24.0","preset":"Haswell","scenarios":[{"name":"x","ns_per_op":1}]}`,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	measured := false
+	code := run([]string{"-C", dir, "-check"}, &stdout, &stderr, func() []scenarioResult {
+		measured = true
+		return stubMeasure()
+	})
+	if code != exitBaseline {
+		t.Fatalf("exit %d, want %d (stderr: %s)", code, exitBaseline, stderr.String())
+	}
+	if measured {
+		t.Fatal("benchmarks ran with no usable baseline")
+	}
+	for _, want := range []string{"BENCH_0001.json", "BENCH_0002.json", "needs a usable"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Fatalf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+}
+
+// TestRunWriteSkipsCorruptBaseline: in write mode a broken newest
+// baseline no longer aborts the run — it is skipped with a warning and
+// the report still lands, numbered past the broken file so it is never
+// overwritten, with speedups computed against the older good baseline.
+func TestRunWriteSkipsCorruptBaseline(t *testing.T) {
+	dir := t.TempDir()
+	good := validBaseline(`{"name":"warm-load","ns_per_op":200,"steady_state":true}`)
+	for name, body := range map[string]string{
+		"BENCH_0003.json": good,
+		"BENCH_0007.json": "{truncated",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir}, &stdout, &stderr, stubMeasure); code != exitOK {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "skipping baseline") {
+		t.Fatalf("missing skip warning:\n%s", stderr.String())
+	}
+	rep, err := loadReport(filepath.Join(dir, "BENCH_0008.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaselineFile != "BENCH_0003.json" {
+		t.Fatalf("baseline_file = %q, want BENCH_0003.json", rep.BaselineFile)
+	}
+	if got := rep.Scenarios[0].SpeedupVsBaseline; got != 2 {
+		t.Fatalf("speedup vs baseline = %v, want 2", got)
+	}
+}
+
 // TestRunWriteFailureIsDistinct: a report that cannot land on disk is
 // exit 3, after measurement, not a baseline or usage error.
 func TestRunWriteFailureIsDistinct(t *testing.T) {
@@ -207,7 +386,7 @@ func TestRunWriteFailureIsDistinct(t *testing.T) {
 // baseline file in the -C directory.
 func TestRunCheckVerdicts(t *testing.T) {
 	dir := t.TempDir()
-	baseline := `{"scenarios":[{"name":"warm-load","ns_per_op":100,"steady_state":true}]}`
+	baseline := validBaseline(`{"name":"warm-load","ns_per_op":100,"steady_state":true}`)
 	if err := os.WriteFile(filepath.Join(dir, "BENCH_0001.json"), []byte(baseline), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +411,7 @@ func TestRunCheckVerdicts(t *testing.T) {
 // BENCH_NNNN.json in the -C directory and records its baseline.
 func TestRunWritesNumberedReport(t *testing.T) {
 	dir := t.TempDir()
-	baseline := `{"scenarios":[{"name":"warm-load","ns_per_op":200,"steady_state":true}]}`
+	baseline := validBaseline(`{"name":"warm-load","ns_per_op":200,"steady_state":true}`)
 	if err := os.WriteFile(filepath.Join(dir, "BENCH_0007.json"), []byte(baseline), 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,11 @@ var deterministicSuffixes = []string{
 	// machine's whole determinism story, so a wall-clock read or an
 	// unordered iteration here breaks byte-identical mt-* output.
 	"internal/core",
+	// Compiled payloads must replay bit-identically to the closure
+	// bodies they lower — the differential harness compares them down
+	// to clock deltas and PMC banks, so nondeterminism here is a
+	// correctness bug, not jitter.
+	"internal/payload",
 }
 
 // randConstructors are the math/rand package-level functions that build

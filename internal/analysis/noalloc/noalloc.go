@@ -19,6 +19,11 @@
 // panicking path has left the steady state), math/bits and seeded
 // math/rand methods are allowlisted, and any single finding can be
 // waived with //pthammer:alloc-ok <why> on (or directly above) its line.
+//
+// A small set of functions (the required map) must carry the annotation:
+// those are the hot paths whose 0 allocs/op contract CI depends on, and
+// deleting the annotation — or the function — fails the build rather
+// than silently dropping the verification.
 package noalloc
 
 import (
@@ -42,6 +47,20 @@ type Fact struct {
 	Funcs []string `json:"funcs"`
 }
 
+// required maps a package import-path suffix to declaration names that
+// MUST carry //pthammer:noalloc. These are the structural hot-path
+// contracts: dropping the annotation (or renaming the function away)
+// would silently stop verifying the function's body, so the analyzer
+// turns either into a build failure instead.
+var required = map[string][]string{
+	"internal/payload": {
+		// The op-stream dispatch loop: compiled payloads promise the
+		// same 0 allocs/op steady state as the closure bodies they
+		// lower, and the annotation is how that promise is checked.
+		"Executor.Run",
+	},
+}
+
 // stdlibAllowed reports whether a call into the standard library is known
 // allocation-free: math/bits is pure bit arithmetic, and the draw methods
 // of a seeded generator (rand.Rand.Float64/Uint64/...) do not allocate.
@@ -61,6 +80,7 @@ func run(pass *framework.Pass) error {
 	// First pass: collect this package's annotated set (needed before
 	// checking bodies, since annotated functions may call each other).
 	local := make(map[string]bool)
+	decls := make(map[string]*ast.FuncDecl)
 	var annotated []*ast.FuncDecl
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -68,9 +88,25 @@ func run(pass *framework.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
+			decls[framework.DeclName(fd)] = fd
 			if framework.FuncAnnotated("noalloc", fd) {
 				local[framework.DeclName(fd)] = true
 				annotated = append(annotated, fd)
+			}
+		}
+	}
+	for suffix, names := range required {
+		if !framework.PathMatches(pass.PkgPath(), suffix) {
+			continue
+		}
+		for _, n := range names {
+			if local[n] {
+				continue
+			}
+			if fd := decls[n]; fd != nil {
+				pass.Reportf(fd.Pos(), "%s must carry //pthammer:noalloc: it is a structurally verified hot path", n)
+			} else if len(pass.Files) > 0 {
+				pass.Reportf(pass.Files[0].Pos(), "required noalloc function %s not found in %s", n, pass.PkgPath())
 			}
 		}
 	}

@@ -1,0 +1,13 @@
+// Package payload is the required-annotation fixture: its import path
+// ends in internal/payload, so the analyzer demands //pthammer:noalloc
+// on Executor.Run. This copy deliberately omits the annotation.
+package payload
+
+// Executor mirrors the real dispatch-loop receiver.
+type Executor struct{ pc int }
+
+// Run is a required hot path but is not annotated.
+func (e *Executor) Run() int { // want `Executor\.Run must carry //pthammer:noalloc`
+	e.pc++
+	return e.pc
+}

@@ -1,0 +1,54 @@
+// Lowering the hammer bodies to payload programs. The closure paths
+// (ImplicitHammer.HammerOnce, ImplicitPair.HammerOncePrivileged) stay
+// the reference semantics; these compilers emit the exact same machine
+// calls in the exact same order as flat op streams, and the difftest
+// harness holds the two bit-identical. The steady-state scenarios run
+// the compiled form; the escalation drivers keep the closures, so both
+// engines stay load-bearing.
+package bench
+
+import (
+	"fmt"
+
+	"pthammer/internal/machine"
+	"pthammer/internal/payload"
+)
+
+// CompileHammer lowers one flush-free hammer iteration — TLB eviction
+// walk, leaf-PTE LLC eviction walk, probe, per side — into a program.
+// The program's Trace mirrors HammerOnce's HammerIter: two probes whose
+// Walked/LeafFromDRAM verdicts are ANDed, and the total cycles charged.
+func CompileHammer(m *machine.Machine, h *ImplicitHammer) (*payload.Program, error) {
+	c := payload.NewCompiler()
+	c.Prime(h.TLB1.Pages)
+	c.Prime(h.LLC1.Addrs)
+	c.Probe(h.Pair.VA1)
+	c.Prime(h.TLB2.Pages)
+	c.Prime(h.LLC2.Addrs)
+	c.Probe(h.Pair.VA2)
+	prog, err := c.Compile(m.Memory().Size())
+	if err != nil {
+		return nil, fmt.Errorf("bench: compile hammer: %w", err)
+	}
+	if prog.Privileged() {
+		return nil, fmt.Errorf("bench: compiled implicit-hammer program contains privileged ops")
+	}
+	return prog, nil
+}
+
+// CompilePrivileged lowers one privileged-baseline iteration — invlpg,
+// clflush the leaf PTE, load, per side — into a program.
+func CompilePrivileged(m *machine.Machine, pair ImplicitPair) (*payload.Program, error) {
+	c := payload.NewCompiler()
+	c.Invlpg(pair.VA1)
+	c.Flush(pair.PTE1)
+	c.Load(pair.VA1)
+	c.Invlpg(pair.VA2)
+	c.Flush(pair.PTE2)
+	c.Load(pair.VA2)
+	prog, err := c.Compile(m.Memory().Size())
+	if err != nil {
+		return nil, fmt.Errorf("bench: compile privileged baseline: %w", err)
+	}
+	return prog, nil
+}

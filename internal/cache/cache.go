@@ -55,9 +55,10 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// newLevel builds one level as a mem.SetAssoc tagged by line number.
+// newLevel builds one level as a tag-only mem.SetAssoc tagged by line
+// number: caches track presence, never a payload.
 func newLevel(cfg Config) *mem.SetAssoc {
-	return mem.NewSetAssoc(int(cfg.Sets()), cfg.Ways)
+	return mem.NewSetAssocTags(int(cfg.Sets()), cfg.Ways)
 }
 
 // SharedLLC is the cross-core state of one inclusive last-level cache:
@@ -255,6 +256,8 @@ func (h *Hierarchy) Lookup(a mem.Access) mem.Result {
 // coherence-domain operation, not a per-core one), and the fixed
 // instruction cost is charged to the flushing core whether or not the
 // line was cached anywhere.
+//
+//pthammer:noalloc
 func (h *Hierarchy) Flush(a phys.Addr) timing.Cycles {
 	ln := h.lineOf(a)
 	h.shared.backInvalidate(ln)

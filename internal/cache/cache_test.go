@@ -209,3 +209,26 @@ func TestLRUWithinSet(t *testing.T) {
 	}
 	_ = d
 }
+
+// TestSharedAccessors: each per-core hierarchy knows its shared LLC
+// slice, and the slice counts its attached cores.
+func TestSharedAccessors(t *testing.T) {
+	clock := timing.MustNewClock(1_000_000_000)
+	counters := &perf.Counters{}
+	d := &fakeDRAM{clock: clock, lat: 200}
+	l1, l2, llc := tinyConfigs()
+	shared, err := NewShared(llc, timing.DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Cores() != 0 {
+		t.Fatalf("fresh shared LLC reports %d cores", shared.Cores())
+	}
+	h, err := NewCore(l1, l2, shared, 0, d, clock, counters, timing.DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Shared() != shared || shared.Cores() != 1 {
+		t.Fatalf("attachment bookkeeping: shared match %v, cores %d", h.Shared() == shared, shared.Cores())
+	}
+}

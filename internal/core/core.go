@@ -45,6 +45,13 @@ type Stream struct {
 	Run func(yield func())
 }
 
+// streamAbort is the sentinel a parked stream panics with to unwind
+// itself during teardown after another stream's body panicked. The
+// unwind runs the stream's own deferred cleanup on its own goroutine —
+// exactly what a cooperating body expects — and is recovered at the
+// goroutine top, never escaping to the user.
+type streamAbort struct{}
+
 // Run executes the streams to completion under the deterministic
 // schedule and returns the grant log: the core index granted at each
 // scheduling decision, in order. The log is itself part of the
@@ -53,6 +60,14 @@ type Stream struct {
 //
 // Run panics on a stream with a nil Now or Run — a wiring bug, not a
 // runtime condition.
+//
+// A panic inside a stream body does not crash the process from the
+// stream's goroutine: Run aborts the schedule, resumes every other
+// live stream so it unwinds through its deferred cleanup (yield panics
+// a private sentinel after the grant), waits for all goroutines to
+// finish, and then re-panics the original value on the caller's
+// goroutine. The first panicking stream wins; panics raised by cleanup
+// during the unwind are swallowed in favour of the original.
 func Run(streams []Stream) []int {
 	n := len(streams)
 	if n == 0 {
@@ -65,21 +80,45 @@ func Run(streams []Stream) []int {
 	}
 
 	type report struct {
-		core int
-		done bool
+		core     int
+		done     bool
+		panicked bool
+		val      any
 	}
 	grants := make([]chan struct{}, n)
 	status := make(chan report)
+	// abort is written by the scheduler only while every live stream is
+	// parked, and read by a stream only after receiving a grant; the
+	// grant channel's send/receive edge orders the two, so a plain bool
+	// is race-free.
+	abort := false
 	for i := range streams {
 		grants[i] = make(chan struct{})
 		go func(i int, s Stream) {
+			defer func() {
+				switch r := recover(); {
+				case r == nil:
+					// s.Run returned normally; the done report was
+					// already sent below.
+				case r == any(streamAbort{}):
+					status <- report{core: i, done: true}
+				default:
+					status <- report{core: i, done: true, panicked: true, val: r}
+				}
+			}()
 			yield := func() {
 				status <- report{core: i}
 				<-grants[i]
+				if abort {
+					panic(streamAbort{})
+				}
 			}
 			// Wait for the first grant so the stream body never runs
 			// concurrently with another stream's quantum.
 			<-grants[i]
+			if abort {
+				panic(streamAbort{})
+			}
 			s.Run(yield)
 			status <- report{core: i, done: true}
 		}(i, streams[i])
@@ -92,12 +131,19 @@ func Run(streams []Stream) []int {
 	done := make([]bool, n)
 	remaining := n
 	var log []int
+	var panicVal any
 	for remaining > 0 {
 		best := -1
 		var bestT timing.Cycles
 		for i := 0; i < n; i++ {
 			if done[i] {
 				continue
+			}
+			if abort {
+				// Teardown: order no longer matters, clocks may be
+				// mid-update in the panicked body — grant by index.
+				best = i
+				break
 			}
 			t := streams[i].Now()
 			// Strict < implements the fixed tiebreak: equal clocks go
@@ -106,13 +152,22 @@ func Run(streams []Stream) []int {
 				best, bestT = i, t
 			}
 		}
-		log = append(log, best)
+		if !abort {
+			log = append(log, best)
+		}
 		grants[best] <- struct{}{}
 		r := <-status
 		if r.done {
 			done[r.core] = true
 			remaining--
 		}
+		if r.panicked && panicVal == nil {
+			panicVal = r.val
+			abort = true
+		}
+	}
+	if panicVal != nil {
+		panic(panicVal)
 	}
 	return log
 }

@@ -127,6 +127,103 @@ func TestDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// TestZeroQuantumStreams: streams whose clocks never move still make
+// progress and terminate. With permanently equal clocks the strict-<
+// tiebreak keeps choosing the lowest live index, so core 0 runs to
+// completion before core 1 gets its first grant.
+func TestZeroQuantumStreams(t *testing.T) {
+	mk := func() core.Stream {
+		return core.Stream{
+			Now: func() timing.Cycles { return 0 },
+			Run: func(yield func()) {
+				yield()
+				yield()
+			},
+		}
+	}
+	log := core.Run([]core.Stream{mk(), mk()})
+	want := []int{0, 0, 0, 1, 1, 1}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("grant log = %v, want %v", log, want)
+	}
+}
+
+// TestSingleCoreGrantLog: a lone stream with several quanta gets every
+// grant; the log length is quanta+1 (one grant per yield plus the
+// initial one).
+func TestSingleCoreGrantLog(t *testing.T) {
+	s := &scripted{steps: []timing.Cycles{5, 5, 5, 5}}
+	log := core.Run([]core.Stream{s.stream()})
+	if !reflect.DeepEqual(log, []int{0, 0, 0, 0}) {
+		t.Fatalf("grant log = %v", log)
+	}
+	if s.clock != 20 {
+		t.Fatalf("final clock = %d, want 20", s.clock)
+	}
+}
+
+// TestPanicPropagatesAfterTeardown is the interleaver's crash
+// contract: a panic in one stream body must re-surface on the caller's
+// goroutine with the original value — not crash the process from a
+// stream goroutine — and every other live stream must first unwind
+// through its deferred cleanup.
+func TestPanicPropagatesAfterTeardown(t *testing.T) {
+	n := 3
+	cleaned := make([]bool, n)
+	var streams []core.Stream
+	for i := 0; i < n; i++ {
+		i := i
+		clock := timing.Cycles(0)
+		streams = append(streams, core.Stream{
+			Now: func() timing.Cycles { return clock },
+			Run: func(yield func()) {
+				defer func() { cleaned[i] = true }()
+				for q := 0; ; q++ {
+					clock += 10
+					if i == 1 && q == 2 {
+						panic("boom in core 1")
+					}
+					yield()
+				}
+			},
+		})
+	}
+	defer func() {
+		r := recover()
+		if r != "boom in core 1" {
+			t.Fatalf("recovered %v, want the original panic value", r)
+		}
+		for i, c := range cleaned {
+			if !c {
+				t.Errorf("core %d deferred cleanup never ran", i)
+			}
+		}
+	}()
+	core.Run(streams)
+	t.Fatal("Run returned instead of panicking")
+}
+
+// TestPanicBeforeFirstYield: a body that panics in its very first
+// quantum — including from a stream that never yields at all — still
+// tears down cleanly.
+func TestPanicBeforeFirstYield(t *testing.T) {
+	other := &scripted{steps: []timing.Cycles{1, 1, 1, 1, 1, 1, 1, 1}}
+	streams := []core.Stream{
+		other.stream(),
+		{
+			Now: func() timing.Cycles { return 0 },
+			Run: func(yield func()) { panic("instant") },
+		},
+	}
+	defer func() {
+		if r := recover(); r != "instant" {
+			t.Fatalf("recovered %v, want \"instant\"", r)
+		}
+	}()
+	core.Run(streams)
+	t.Fatal("Run returned instead of panicking")
+}
+
 // TestGrantClocksNondecreasing pins the property shared devices rely
 // on: the clock of the granted core, read at grant time, never moves
 // backwards across the schedule.

@@ -472,6 +472,8 @@ func (d *DRAM) ResetWindow() { d.def.ResetWindow() }
 
 // ResetWindow is DRAM.ResetWindow anchored at this port's clock: the
 // fresh window starts at the resetting core's current cycle reading.
+//
+//pthammer:noalloc
 func (p *Port) ResetWindow() {
 	d := p.d
 	d.windowStart = p.clock.Now()

@@ -591,3 +591,23 @@ func TestResetWindowWorksWithWindowingDisabled(t *testing.T) {
 		t.Fatalf("activations after reset = %d, want 0", got)
 	}
 }
+
+// TestPortAccessors pins the multi-core port plumbing: each port knows
+// its device and core index, and NewPort rejects nil wiring and
+// negative cores.
+func TestPortAccessors(t *testing.T) {
+	d, clock, counters := newTestDRAM(t, testConfig())
+	p, err := d.NewPort(2, clock, counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DRAM() != d || p.Core() != 2 {
+		t.Fatalf("port accessors: DRAM match %v, core %d", p.DRAM() == d, p.Core())
+	}
+	if _, err := d.NewPort(-1, clock, counters); err == nil {
+		t.Fatal("NewPort accepted a negative core index")
+	}
+	if _, err := d.NewPort(0, nil, counters); err == nil {
+		t.Fatal("NewPort accepted a nil clock")
+	}
+}

@@ -318,3 +318,16 @@ func TestMatrixShape(t *testing.T) {
 		t.Fatalf("matrix has %d unrecoverable scenarios, want 2", unrecoverable)
 	}
 }
+
+// TestStatsTotalAndClass: Total sums every seam's counter and the
+// model reports its configured class.
+func TestStatsTotalAndClass(t *testing.T) {
+	s := Stats{MembersDropped: 1, ProbesPerturbed: 2, AttemptsSuppressed: 3, FlipsRedirected: 4, PairsInvalidated: 5}
+	if s.Total() != 15 {
+		t.Fatalf("Total() = %d, want 15", s.Total())
+	}
+	m := MustNewModel(Config{Class: TRRSuppress, Seed: 1})
+	if m.Class() != TRRSuppress {
+		t.Fatalf("Class() = %v, want TRRSuppress", m.Class())
+	}
+}

@@ -320,3 +320,35 @@ func TestRampScaleZeroMeansCertainFlips(t *testing.T) {
 		}
 	}
 }
+
+// stubInjector is a do-nothing fault seam for wiring tests.
+type stubInjector struct{}
+
+func (stubInjector) OnWindow(uint64)                  {}
+func (stubInjector) SuppressAttempt(dram.Victim) bool { return false }
+func (stubInjector) RedirectFlip(a phys.Addr, b uint) (phys.Addr, uint, bool) {
+	return a, b, false
+}
+func (stubInjector) ObserveFlip(dram.Victim) {}
+
+// TestModelAccessorsAndInjectorRules: the model reports its profile and
+// seed, and SetInjector is one-shot and nil-checked (the injector's
+// random stream must pair with exactly one model).
+func TestModelAccessorsAndInjectorRules(t *testing.T) {
+	m := MustNewModel(hotProfile(), 7)
+	if m.Profile().Name != hotProfile().Name {
+		t.Fatalf("Profile() = %+v, want the construction profile", m.Profile())
+	}
+	if m.Seed() != 7 {
+		t.Fatalf("Seed() = %d, want 7", m.Seed())
+	}
+	if err := m.SetInjector(nil); err == nil {
+		t.Fatal("SetInjector accepted nil")
+	}
+	if err := m.SetInjector(stubInjector{}); err != nil {
+		t.Fatalf("SetInjector: %v", err)
+	}
+	if err := m.SetInjector(stubInjector{}); err == nil {
+		t.Fatal("SetInjector accepted a second injector")
+	}
+}

@@ -361,6 +361,8 @@ func (m *Machine) Translate(a phys.Addr) (phys.Frame, mem.Result) {
 // attacker substitutes TLB eviction sets — so scenarios use it as the
 // privileged baseline. It charges no cycles and reports whether any
 // structure held state for the page.
+//
+//pthammer:noalloc
 func (m *Machine) InvalidatePage(a phys.Addr) bool {
 	m.privInvlpgs++
 	inTLB := m.tlb.Invalidate(a)
@@ -511,6 +513,8 @@ func (m *Machine) Probe(a phys.Addr) ProbeResult {
 // TLB is untouched — exactly why the paper needs eviction-based TLB
 // flushing from user space. Panics on an out-of-range address, like
 // Load.
+//
+//pthammer:noalloc
 func (m *Machine) Flush(a phys.Addr) timing.Cycles {
 	if !m.mem.Contains(a) {
 		panic(fmt.Sprintf("machine: flush at %#x outside %d-byte memory", uint64(a), m.mem.Size()))
@@ -530,6 +534,8 @@ func (m *Machine) HammerStats() dram.Stats { return m.dport.HammerStats() }
 // construction (aggressor discovery, eviction-set building) calls it
 // so the first measured window starts from zero pressure instead of
 // inheriting construction traffic.
+//
+//pthammer:noalloc
 func (m *Machine) ResetRefreshWindow() { m.dport.ResetWindow() }
 
 // Flips returns the disturbance errors the configured flip model has
@@ -559,6 +565,8 @@ func (m *Machine) FaultModel() *fault.Model { return m.cfg.FaultModel }
 func (m *Machine) Core() int { return m.core }
 
 // Clock returns this core's cycle clock.
+//
+//pthammer:noalloc
 func (m *Machine) Clock() *timing.Clock { return m.clock }
 
 // Counters returns the machine's performance-counter bank.

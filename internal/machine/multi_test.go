@@ -246,6 +246,46 @@ func TestMultiMachineDeterministic(t *testing.T) {
 	}
 }
 
+// TestMultiRunPanicTeardown: a body that panics mid-run must surface
+// its original value from mm.Run on the caller's goroutine — not crash
+// the process from a core's goroutine — after the other cores unwind
+// through their deferred cleanup; the machine stays usable afterwards.
+func TestMultiRunPanicTeardown(t *testing.T) {
+	mm := MustNewMulti(MultiConfig{Config: SandyBridge(), Cores: 3, Tenants: []int{0, 1, 0}})
+	cleaned := make([]bool, 3)
+	func() {
+		defer func() {
+			if r := recover(); r != "core 1 body blew up" {
+				t.Fatalf("recovered %v, want the original panic value", r)
+			}
+		}()
+		mm.Run(func(i int, m *Machine, yield func()) {
+			defer func() { cleaned[i] = true }()
+			for n := 0; ; n++ {
+				m.Load(phys.Addr(uint64(i*8+n%4) * phys.FrameSize))
+				if i == 1 && n == 5 {
+					panic("core 1 body blew up")
+				}
+				yield()
+			}
+		})
+		t.Fatal("Run returned instead of panicking")
+	}()
+	for i, c := range cleaned {
+		if !c {
+			t.Errorf("core %d deferred cleanup never ran", i)
+		}
+	}
+	// The interleaver tore down cleanly: a fresh Run on the same machine
+	// still schedules.
+	log := mm.Run(func(i int, m *Machine, yield func()) {
+		m.Load(phys.Addr(uint64(i) * phys.FrameSize))
+	})
+	if len(log) != 3 {
+		t.Fatalf("post-panic Run grant log = %v, want one grant per core", log)
+	}
+}
+
 // TestMultiFlipMislandInvariant is the other satellite-4 case: with a
 // flip model and a flip-misland fault model active while two cores
 // hammer concurrently — mislanded flips relocated onto rows the other

@@ -149,3 +149,23 @@ func TestNewRejectsBadRegions(t *testing.T) {
 		t.Error("region past end of memory accepted")
 	}
 }
+
+// TestFramesAndRegion: the allocated-frame listing starts with the
+// root, and Region bounds the whole pool.
+func TestFramesAndRegion(t *testing.T) {
+	const size, frames = 1 << 22, 64
+	m := phys.MustNew(size)
+	base := phys.Frame(size/phys.FrameSize - frames)
+	tb, err := New(m, base, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := tb.Frames()
+	if len(fs) == 0 || fs[0] != base {
+		t.Fatalf("Frames() = %v..., want the root %v first", fs[:1], base)
+	}
+	rbase, rframes := tb.Region()
+	if rbase != base || rframes != frames {
+		t.Fatalf("Region() = (%v, %d), want (%v, %d)", rbase, rframes, base, frames)
+	}
+}

@@ -1,0 +1,192 @@
+// Package difftest is the differential equivalence harness between the
+// closure scenario bodies and their compiled payload programs. The
+// engine-swap contract it enforces: a compiled program must drive the
+// machine through the exact same state transitions as the closure path
+// it lowers — bit-identical clock deltas, PMC banks, hammer stats,
+// recorded flips and privileged-operation counts, on identically
+// seeded machines. No engine change merges without this harness green
+// (see CONTRIBUTING.md).
+//
+// The helpers build machine *pairs* from a caller-supplied factory —
+// never one shared machine — because a flip or fault model binds to
+// the machine it is constructed with; the factory is called once per
+// arm so each arm owns identical-but-independent state.
+package difftest
+
+import (
+	"fmt"
+	"reflect"
+
+	"pthammer/internal/bench"
+	"pthammer/internal/evset"
+	"pthammer/internal/machine"
+	"pthammer/internal/payload"
+	"pthammer/internal/sweep"
+)
+
+// Factory builds one arm's machine. It is invoked twice per
+// equivalence check and must return identically-configured (and
+// identically-seeded) machines on every call.
+type Factory func() (*machine.Machine, error)
+
+// CheckState compares every piece of observable machine state the
+// harness pins: clock, the full PMC bank, DRAM hammer stats, recorded
+// flips, and the privileged-operation counters. A nil error means the
+// two machines are indistinguishable through the measurement API.
+func CheckState(closure, compiled *machine.Machine) error {
+	if a, b := closure.Clock().Now(), compiled.Clock().Now(); a != b {
+		return fmt.Errorf("clock diverged: closure %d, compiled %d", a, b)
+	}
+	if a, b := closure.Counters().Snapshot(), compiled.Counters().Snapshot(); a != b {
+		return fmt.Errorf("PMC banks diverged:\nclosure  %+v\ncompiled %+v", a, b)
+	}
+	if a, b := closure.HammerStats(), compiled.HammerStats(); !reflect.DeepEqual(a, b) {
+		return fmt.Errorf("hammer stats diverged:\nclosure  %+v\ncompiled %+v", a, b)
+	}
+	if a, b := closure.Flips(), compiled.Flips(); !reflect.DeepEqual(a, b) {
+		return fmt.Errorf("flips diverged:\nclosure  %+v\ncompiled %+v", a, b)
+	}
+	af, ai := closure.PrivilegedOps()
+	bf, bi := compiled.PrivilegedOps()
+	if af != bf || ai != bi {
+		return fmt.Errorf("privileged ops diverged: closure (%d, %d), compiled (%d, %d)", af, ai, bf, bi)
+	}
+	return nil
+}
+
+// Hammer checks the flush-free implicit-hammer loop: the closure path
+// (ImplicitHammer.HammerOnce) on one machine against the compiled
+// program (bench.CompileHammer) on its twin, for iters iterations. The
+// per-iteration HammerIter and Trace must agree field by field, the
+// compiled program must be unprivileged, and the machines must stay in
+// identical observable state after every iteration.
+func Hammer(newMachine Factory, maxRegions, iters int, opt evset.Options) error {
+	mc, err := newMachine()
+	if err != nil {
+		return err
+	}
+	mp, err := newMachine()
+	if err != nil {
+		return err
+	}
+	hc, err := bench.NewImplicitHammer(mc, maxRegions, opt)
+	if err != nil {
+		return fmt.Errorf("closure arm: %w", err)
+	}
+	hp, err := bench.NewImplicitHammer(mp, maxRegions, opt)
+	if err != nil {
+		return fmt.Errorf("compiled arm: %w", err)
+	}
+	if err := CheckState(mc, mp); err != nil {
+		return fmt.Errorf("after construction: %w", err)
+	}
+	prog, err := bench.CompileHammer(mp, hp)
+	if err != nil {
+		return err
+	}
+	if prog.Privileged() {
+		return fmt.Errorf("compiled hammer program reports privileged ops")
+	}
+	ex, err := payload.NewExecutor(prog)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < iters; i++ {
+		it := hc.HammerOnce(mc)
+		tr := ex.Run(mp)
+		if tr.Probes != 2 {
+			return fmt.Errorf("iter %d: compiled trace has %d probes, want 2", i, tr.Probes)
+		}
+		if it.Cycles != tr.Cycles || it.Walked != tr.Walked || it.LeafFromDRAM != tr.LeafFromDRAM {
+			return fmt.Errorf("iter %d: iteration diverged:\nclosure  %+v\ncompiled %+v", i, it, tr)
+		}
+		if err := CheckState(mc, mp); err != nil {
+			return fmt.Errorf("iter %d: %w", i, err)
+		}
+	}
+	fc, ic := mc.PrivilegedOps()
+	if fc != 0 || ic != 0 {
+		return fmt.Errorf("implicit path issued privileged ops: (%d, %d)", fc, ic)
+	}
+	return nil
+}
+
+// Privileged checks the invlpg+clflush baseline: the closure path
+// (ImplicitPair.HammerOncePrivileged) against the compiled program
+// (bench.CompilePrivileged), for iters iterations, including the
+// privileged-operation counters advancing in lockstep.
+func Privileged(newMachine Factory, maxRegions, iters int) error {
+	mc, err := newMachine()
+	if err != nil {
+		return err
+	}
+	mp, err := newMachine()
+	if err != nil {
+		return err
+	}
+	pairC, ok := bench.FindImplicitAggressors(mc, maxRegions)
+	if !ok {
+		return fmt.Errorf("closure arm: no aggressor pair within %d regions", maxRegions)
+	}
+	pairP, ok := bench.FindImplicitAggressors(mp, maxRegions)
+	if !ok {
+		return fmt.Errorf("compiled arm: no aggressor pair within %d regions", maxRegions)
+	}
+	if pairC != pairP {
+		return fmt.Errorf("aggressor pairs diverged:\nclosure  %+v\ncompiled %+v", pairC, pairP)
+	}
+	prog, err := bench.CompilePrivileged(mp, pairP)
+	if err != nil {
+		return err
+	}
+	if !prog.Privileged() {
+		return fmt.Errorf("compiled baseline program does not report privileged ops")
+	}
+	ex, err := payload.NewExecutor(prog)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < iters; i++ {
+		pairC.HammerOncePrivileged(mc)
+		ex.Run(mp)
+		if err := CheckState(mc, mp); err != nil {
+			return fmt.Errorf("iter %d: %w", i, err)
+		}
+	}
+	f, inv := mp.PrivilegedOps()
+	if f != uint64(2*iters) || inv != uint64(2*iters) {
+		return fmt.Errorf("compiled baseline issued (%d, %d) privileged ops, want (%d, %d)", f, inv, 2*iters, 2*iters)
+	}
+	return nil
+}
+
+// Sweep checks the sweep engine's replay lowering: the same Spec run
+// once through the compiled per-shard programs and once with
+// ClosureReplay forced must produce bit-identical histograms at every
+// padding value.
+func Sweep(spec sweep.Spec) error {
+	spec.ClosureReplay = false
+	compiled, err := sweep.Run(spec)
+	if err != nil {
+		return fmt.Errorf("compiled arm: %w", err)
+	}
+	spec.ClosureReplay = true
+	closure, err := sweep.Run(spec)
+	if err != nil {
+		return fmt.Errorf("closure arm: %w", err)
+	}
+	if len(compiled.Points) != len(closure.Points) {
+		return fmt.Errorf("point counts diverged: compiled %d, closure %d", len(compiled.Points), len(closure.Points))
+	}
+	for i, cp := range compiled.Points {
+		kp := closure.Points[i]
+		if cp.Padding != kp.Padding {
+			return fmt.Errorf("point %d: paddings diverged: compiled %d, closure %d", i, cp.Padding, kp.Padding)
+		}
+		if !cp.Hist.Equal(kp.Hist) {
+			return fmt.Errorf("padding %d: histograms diverged (compiled %d samples, closure %d)",
+				cp.Padding, cp.Hist.Total(), kp.Hist.Total())
+		}
+	}
+	return nil
+}

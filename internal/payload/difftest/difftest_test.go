@@ -1,0 +1,331 @@
+package difftest
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pthammer/internal/bench"
+	"pthammer/internal/cache"
+	"pthammer/internal/dram"
+	"pthammer/internal/evset"
+	"pthammer/internal/flip"
+	"pthammer/internal/machine"
+	"pthammer/internal/payload"
+	"pthammer/internal/phys"
+	"pthammer/internal/sweep"
+	"pthammer/internal/timing"
+	"pthammer/internal/tlb"
+)
+
+// seedConfig perturbs the SandyBridge preset per seed: row count, noise
+// on/off, eviction-set tuning. Every variant keeps the DRAM capacity
+// and MemBytes in agreement.
+func seedConfig(seed int64) machine.Config {
+	cfg := machine.SandyBridge()
+	if seed%2 == 1 {
+		cfg.DRAM.Rows = 4096
+		cfg.MemBytes = cfg.DRAM.Capacity()
+	}
+	if seed%3 == 0 {
+		cfg.NoiseSeed = seed
+		cfg.NoiseProb = 0.05
+		cfg.NoiseMin = 50
+		cfg.NoiseMax = 300
+	}
+	return cfg
+}
+
+func factory(t *testing.T, cfg machine.Config) Factory {
+	t.Helper()
+	return func() (*machine.Machine, error) { return machine.New(cfg) }
+}
+
+// TestHammerEquivalenceAcrossSeeds is the headline acceptance check:
+// the compiled implicit-hammer program is bit-identical to the closure
+// path on 8 perturbed machine configurations.
+func TestHammerEquivalenceAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		opt := evset.Options{}
+		if seed%4 == 2 {
+			opt.Trials = 5
+		}
+		iters := 6 + int(seed)*3
+		if err := Hammer(factory(t, seedConfig(seed)), 256, iters, opt); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestPrivilegedEquivalenceAcrossSeeds pins the invlpg+clflush baseline
+// lowering, including the privileged-op counters moving in lockstep.
+func TestPrivilegedEquivalenceAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		iters := 5 + int(seed)*2
+		if err := Privileged(factory(t, seedConfig(seed)), 256, iters); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestSweepReplayEquivalence pins the per-shard replay lowering for all
+// three sweep modes — plain, FlushBetween and EvictBetween — across
+// seeds, noise, worker counts and stream lengths.
+func TestSweepReplayEquivalence(t *testing.T) {
+	base := machine.SandyBridge()
+	noisy := base
+	noisy.NoiseProb = 0.1
+	noisy.NoiseMin = 100
+	noisy.NoiseMax = 500
+	addrs := []phys.Addr{0, 0x1000, 0x2000, 0x41000, 0x82000, 0x200000, 0x5000, 0x6000}
+	specs := []struct {
+		name string
+		spec sweep.Spec
+	}{
+		{"plain", sweep.Spec{Machine: base, Addrs: addrs[:3], PadMin: 0, PadMax: 20, PadStep: 10, Reps: 6, BaseSeed: 1}},
+		{"flush-noisy", sweep.Spec{Machine: noisy, Addrs: addrs, PadMin: 0, PadMax: 40, PadStep: 10, Reps: 10, FlushBetween: true, BaseSeed: 42}},
+		{"flush-single-worker", sweep.Spec{Machine: noisy, Addrs: addrs[:5], PadMin: 0, PadMax: 30, PadStep: 15, Reps: 8, FlushBetween: true, Workers: 1, BaseSeed: 7}},
+		{"evict", sweep.Spec{Machine: base, Addrs: addrs[:2], PadMin: 0, PadMax: 10, PadStep: 10, Reps: 5, EvictBetween: true, BaseSeed: 3}},
+	}
+	for _, tc := range specs {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := Sweep(tc.spec); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestHammerEquivalenceWithFlips runs the equivalence check on the
+// escalation demo machine — lowered hammer threshold, shortened refresh
+// window, class-A flip model — long enough for disturbance errors to
+// land, so the Flips comparison in CheckState is exercised with a
+// non-empty record.
+func TestHammerEquivalenceWithFlips(t *testing.T) {
+	const seed = 1
+	newMachine := func() (*machine.Machine, error) {
+		model, err := flip.NewModel(flip.ClassA(), seed)
+		if err != nil {
+			return nil, err
+		}
+		return machine.New(bench.EscalationConfig(model))
+	}
+	if err := Hammer(newMachine, 500, 150, evset.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-run one arm alone to confirm the workload actually flips bits:
+	// an empty flip record would make the comparison vacuous.
+	m, err := newMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := bench.NewImplicitHammer(m, 500, evset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		h.HammerOnce(m)
+	}
+	if len(m.Flips()) == 0 {
+		t.Fatal("escalation-config hammer produced no flips; the Flips equality check is vacuous")
+	}
+}
+
+// TestCheckStateDetectsDivergence drives CheckState's failure
+// branches: the harness is only trustworthy if it actually notices each
+// kind of drift it claims to pin.
+func TestCheckStateDetectsDivergence(t *testing.T) {
+	build := func() *machine.Machine { return machine.MustNew(machine.SandyBridge()) }
+
+	t.Run("clock", func(t *testing.T) {
+		a, b := build(), build()
+		a.Clock().Advance(10)
+		if err := CheckState(a, b); err == nil || !strings.Contains(err.Error(), "clock diverged") {
+			t.Fatalf("err = %v, want clock divergence", err)
+		}
+	})
+	t.Run("pmc", func(t *testing.T) {
+		a, b := build(), build()
+		before := a.Clock().Now()
+		a.Load(0)
+		// Match the clocks exactly so the PMC comparison is what fires.
+		b.Clock().Advance(a.Clock().Now() - before)
+		if err := CheckState(a, b); err == nil || !strings.Contains(err.Error(), "PMC banks diverged") {
+			t.Fatalf("err = %v, want PMC divergence", err)
+		}
+	})
+	t.Run("privileged-ops", func(t *testing.T) {
+		a, b := build(), build()
+		// InvalidatePage charges no cycles and no PMC events, so only
+		// the privileged-op counters drift apart.
+		a.InvalidatePage(0)
+		if err := CheckState(a, b); err == nil || !strings.Contains(err.Error(), "privileged ops diverged") {
+			t.Fatalf("err = %v, want privileged-op divergence", err)
+		}
+	})
+	t.Run("identical", func(t *testing.T) {
+		if err := CheckState(build(), build()); err != nil {
+			t.Fatalf("fresh twins diverged: %v", err)
+		}
+	})
+}
+
+// TestHarnessErrorPaths: the harness surfaces construction failures
+// instead of masking them as equivalence verdicts.
+func TestHarnessErrorPaths(t *testing.T) {
+	boom := func() (*machine.Machine, error) { return nil, errFactory }
+	if err := Hammer(boom, 256, 1, evset.Options{}); err == nil {
+		t.Fatal("Hammer swallowed a factory error")
+	}
+	if err := Privileged(boom, 256, 1); err == nil {
+		t.Fatal("Privileged swallowed a factory error")
+	}
+	good := factory(t, machine.SandyBridge())
+	// maxRegions 0 leaves no aggressor candidates at all.
+	if err := Hammer(good, 0, 1, evset.Options{}); err == nil || !strings.Contains(err.Error(), "closure arm") {
+		t.Fatalf("Hammer err = %v, want closure-arm construction failure", err)
+	}
+	if err := Privileged(good, 0, 1); err == nil || !strings.Contains(err.Error(), "closure arm") {
+		t.Fatalf("Privileged err = %v, want closure-arm failure", err)
+	}
+	if err := Sweep(sweep.Spec{}); err == nil || !strings.Contains(err.Error(), "compiled arm") {
+		t.Fatalf("Sweep err = %v, want compiled-arm failure on an empty spec", err)
+	}
+}
+
+var errFactory = errors.New("factory deliberately failing")
+
+// randomDevice is a property-test machine: small geometry, randomized
+// per seed, everything deterministic given the seed.
+func randomConfig(r *rand.Rand) machine.Config {
+	d := dram.Config{
+		Channels:        1 << r.Intn(2),
+		RanksPerChannel: 1,
+		BanksPerRank:    1 << r.Intn(3),
+		Rows:            1024,
+		RowBytes:        uint64(4096 << r.Intn(2)),
+		HammerThreshold: 1 << 20,
+	}
+	return machine.Config{
+		MemBytes:  d.Capacity(),
+		FreqHz:    2_100_000_000,
+		Lat:       timing.DefaultLatencies(),
+		DRAM:      d,
+		L1:        cache.Config{SizeBytes: 8 << 10, Ways: 2, LineBytes: 64},
+		L2:        cache.Config{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64},
+		LLC:       cache.Config{SizeBytes: uint64(128<<10) << r.Intn(2), Ways: 8, LineBytes: 64},
+		TLB:       tlb.Config{L1Entries: 16, L1Ways: 4, L2Entries: 64 << r.Intn(2), L2Ways: 4},
+		NoiseSeed: r.Int63(),
+		NoiseProb: float64(r.Intn(2)) * 0.1,
+		NoiseMin:  50,
+		NoiseMax:  400,
+	}
+}
+
+// TestRandomProgramsMatchClosureReplay is the seeded property test:
+// random op sequences over random geometries and stream lengths,
+// executed once through the compiled executor and once as the
+// equivalent hand-written closure, must leave identically-seeded
+// machines in identical state.
+func TestRandomProgramsMatchClosureReplay(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(r)
+		mc, err := machine.New(cfg) // closure arm
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		mp, err := machine.New(cfg) // compiled arm
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		pageCount := cfg.MemBytes / phys.FrameSize
+		randPage := func() phys.Addr {
+			// Low half of memory only: the top of memory holds the
+			// machine's page-table pool.
+			return phys.Addr((r.Uint64() % (pageCount / 2)) << phys.FrameShift)
+		}
+		stream := func() []phys.Addr {
+			out := make([]phys.Addr, 1+r.Intn(24))
+			for i := range out {
+				out[i] = randPage() + phys.Addr(uint64(r.Intn(64))*64)
+			}
+			return out
+		}
+
+		// Build a random program and its closure twin op by op. The
+		// closure twin is a list of deferred machine calls, replayed
+		// after compilation so both arms run from identical cold state.
+		c := payload.NewCompiler()
+		var closure []func(m *machine.Machine)
+		nops := 4 + r.Intn(12)
+		for i := 0; i < nops; i++ {
+			switch r.Intn(7) {
+			case 0:
+				a := randPage()
+				c.Load(a)
+				closure = append(closure, func(m *machine.Machine) { m.Load(a) })
+			case 1:
+				a := randPage() // page-aligned, so 8-byte aligned
+				v := r.Uint64()
+				c.Store64(a, v)
+				closure = append(closure, func(m *machine.Machine) { m.Store64(a, v) })
+			case 2:
+				s := stream()
+				c.Prime(s)
+				closure = append(closure, func(m *machine.Machine) { m.Prime(s) })
+			case 3:
+				s := stream()
+				c.TLBThrash(s)
+				closure = append(closure, func(m *machine.Machine) {
+					for _, a := range s {
+						m.Load(a)
+					}
+				})
+			case 4:
+				a := randPage()
+				c.Probe(a)
+				closure = append(closure, func(m *machine.Machine) { m.Probe(a) })
+			case 5:
+				n := timing.Cycles(r.Intn(500))
+				c.Advance(n)
+				closure = append(closure, func(m *machine.Machine) { m.Clock().Advance(n) })
+			case 6:
+				trips := uint32(2 + r.Intn(3))
+				s := stream()
+				c.Loop(trips, func(c *payload.Compiler) { c.Prime(s) })
+				closure = append(closure, func(m *machine.Machine) {
+					for k := uint32(0); k < trips; k++ {
+						m.Prime(s)
+					}
+				})
+			}
+		}
+		prog, err := c.Compile(cfg.MemBytes)
+		if err != nil {
+			t.Fatalf("seed %d: Compile: %v", seed, err)
+		}
+		ex, err := payload.NewExecutor(prog)
+		if err != nil {
+			t.Fatalf("seed %d: NewExecutor: %v", seed, err)
+		}
+
+		// Two full runs back to back: the second exercises loop-counter
+		// reset and warm-state replay.
+		for run := 0; run < 2; run++ {
+			start := mp.Clock().Now()
+			tr := ex.Run(mp)
+			if delta := mp.Clock().Now() - start; delta != tr.Cycles {
+				t.Fatalf("seed %d run %d: clock advanced %d but trace says %d", seed, run, delta, tr.Cycles)
+			}
+			for _, f := range closure {
+				f(mc)
+			}
+			if err := CheckState(mc, mp); err != nil {
+				t.Fatalf("seed %d run %d: %v", seed, run, err)
+			}
+		}
+	}
+}

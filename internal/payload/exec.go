@@ -1,0 +1,150 @@
+// The payload executor: one flat dispatch loop replaying a compiled
+// Program against a machine front-end. Everything the loop calls is
+// itself //pthammer:noalloc, and the executor's own scratch (loop
+// counters, the latency record buffer) is sized once at construction,
+// so steady-state replay allocates nothing — the property the noalloc
+// analyzer enforces structurally and the fuzzer re-checks dynamically.
+package payload
+
+import (
+	"fmt"
+
+	"pthammer/internal/machine"
+	"pthammer/internal/timing"
+)
+
+// Trace summarises one program run, mirroring bench.HammerIter so the
+// compiled implicit-hammer loop reports exactly what the closure path
+// reports: total cycles charged, and the PMC verdicts ANDed over every
+// probe the program issued.
+type Trace struct {
+	// Cycles is the total clock advance the run charged: every load,
+	// store, prime, probe and flush latency plus every OpAdvance. The
+	// executor's invariant — fuzz-checked — is that Cycles equals the
+	// machine clock's delta across the run exactly.
+	Cycles timing.Cycles
+	// Probes counts OpProbe ops executed.
+	Probes int
+	// Walked is true when every probe missed all TLB levels (vacuously
+	// true with no probes), matching HammerIter.Walked for the two-probe
+	// hammer program.
+	Walked bool
+	// LeafFromDRAM is true when every probe's walk fetched its leaf PTE
+	// from DRAM — the implicit hammer accesses.
+	LeafFromDRAM bool
+}
+
+// Executor replays one Program. It owns the program's run-time scratch
+// — per-loop trip counters and the latency record buffer — so a single
+// Executor may not be shared across goroutines, but replaying it is
+// allocation-free. Build one per (program, core) pairing.
+type Executor struct {
+	prog *Program
+	// counters[pc] counts how many times the OpLoop at pc has fired in
+	// the current run; a completed loop resets its counter, so the
+	// zeroed state is re-established by every full run.
+	counters []uint32
+	// rec holds the latencies recorded by OpLoadRec ops, valid up to
+	// nrec after a run.
+	rec  []timing.Cycles
+	nrec int
+}
+
+// NewExecutor builds the executor for a program, preallocating all
+// run-time scratch. The program's loop structure must be valid (the
+// Compiler emits only valid structures; hand-built or decoded programs
+// should pass Validate first).
+func NewExecutor(p *Program) (*Executor, error) {
+	slots, err := p.recordSlots()
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{
+		prog:     p,
+		counters: make([]uint32, len(p.Ops)),
+		rec:      make([]timing.Cycles, slots),
+	}, nil
+}
+
+// MustExecutor is NewExecutor but panics on error; for compiled
+// programs whose structure is valid by construction.
+func MustExecutor(p *Program) *Executor {
+	e, err := NewExecutor(p)
+	if err != nil {
+		panic(fmt.Sprintf("payload: %v", err))
+	}
+	return e
+}
+
+// Program returns the program this executor replays.
+func (e *Executor) Program() *Program { return e.prog }
+
+// Records returns the latencies the last Run recorded (OpLoadRec), in
+// execution order. The slice is the executor's scratch: valid until
+// the next Run, not to be mutated.
+func (e *Executor) Records() []timing.Cycles { return e.rec[:e.nrec] }
+
+// Run replays the program against the machine and returns the trace.
+// This is the engine the steady-state scenarios dispatch through: one
+// flat loop, no per-op interfaces or closures, nothing allocated. The
+// machine work is identical to the closure path's — the same demand
+// loads in the same order through the same entry points — which is
+// what keeps compiled and closure paths bit-equivalent.
+//
+//pthammer:noalloc
+func (e *Executor) Run(m *machine.Machine) Trace {
+	ops := e.prog.Ops
+	addrs := e.prog.Addrs
+	vals := e.prog.Vals
+	counters := e.counters
+	rec := e.rec
+	nrec := 0
+	tr := Trace{Walked: true, LeafFromDRAM: true}
+	for pc := 0; pc < len(ops); pc++ {
+		op := ops[pc]
+		switch op.Code {
+		case OpLoad:
+			tr.Cycles += m.Load(addrs[op.A]).Latency
+		case OpStore64:
+			tr.Cycles += m.Store64(addrs[op.A], vals[op.B]).Latency
+		case OpPrime:
+			tr.Cycles += m.Prime(addrs[op.A : uint64(op.A)+uint64(op.B)])
+		case OpTLBThrash:
+			for _, a := range addrs[op.A : uint64(op.A)+uint64(op.B)] {
+				tr.Cycles += m.Load(a).Latency
+			}
+		case OpProbe:
+			pr := m.Probe(addrs[op.A])
+			tr.Cycles += pr.Latency
+			tr.Probes++
+			tr.Walked = tr.Walked && pr.Walked
+			tr.LeafFromDRAM = tr.LeafFromDRAM && pr.LeafFromDRAM
+		case OpLoadRec:
+			for _, a := range addrs[op.A : uint64(op.A)+uint64(op.B)] {
+				lat := m.Load(a).Latency
+				tr.Cycles += lat
+				rec[nrec] = lat
+				nrec++
+			}
+		case OpAdvance:
+			c := timing.Cycles(vals[op.A])
+			m.Clock().Advance(c)
+			tr.Cycles += c
+		case OpResetWindow:
+			m.ResetRefreshWindow()
+		case OpInvlpg:
+			m.InvalidatePage(addrs[op.A])
+		case OpFlush:
+			tr.Cycles += m.Flush(addrs[op.A])
+		case OpLoop:
+			counters[pc]++
+			if counters[pc] < op.B {
+				pc = int(op.A) - 1
+			} else {
+				counters[pc] = 0
+			}
+		}
+	}
+	e.nrec = nrec
+	return tr
+}

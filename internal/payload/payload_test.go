@@ -1,0 +1,406 @@
+package payload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pthammer/internal/cache"
+	"pthammer/internal/dram"
+	"pthammer/internal/machine"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+	"pthammer/internal/tlb"
+)
+
+// testConfig is a small, fully deterministic machine: 16 MiB of DRAM
+// under modest caches, enough for page-stride streams without the
+// SandyBridge preset's construction cost.
+func testConfig() machine.Config {
+	d := dram.Config{
+		Channels:        1,
+		RanksPerChannel: 1,
+		BanksPerRank:    8,
+		Rows:            512,
+		RowBytes:        4096,
+		HammerThreshold: 1 << 20,
+	}
+	return machine.Config{
+		MemBytes: d.Capacity(),
+		FreqHz:   2_100_000_000,
+		Lat:      timing.DefaultLatencies(),
+		DRAM:     d,
+		L1:       cache.Config{SizeBytes: 8 << 10, Ways: 2, LineBytes: 64},
+		L2:       cache.Config{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64},
+		LLC:      cache.Config{SizeBytes: 256 << 10, Ways: 8, LineBytes: 64},
+		TLB:      tlb.Config{L1Entries: 16, L1Ways: 4, L2Entries: 64, L2Ways: 4},
+	}
+}
+
+func testMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(testConfig())
+	if err != nil {
+		t.Fatalf("machine.New: %v", err)
+	}
+	return m
+}
+
+// pages returns n page-stride addresses starting at page `start`.
+func pages(start, n int) []phys.Addr {
+	out := make([]phys.Addr, n)
+	for i := range out {
+		out[i] = phys.Addr(uint64(start+i) << phys.FrameShift)
+	}
+	return out
+}
+
+func TestValidateErrors(t *testing.T) {
+	const mem = 1 << 24
+	addr := []phys.Addr{0x1000, 0x2008}
+	cases := []struct {
+		name string
+		prog Program
+		want string // substring of the error, "" for valid
+	}{
+		{"empty ok", Program{}, ""},
+		{"addr out of memory", Program{Addrs: []phys.Addr{mem}}, "outside"},
+		{"unknown opcode", Program{Ops: []Op{{Code: opCount}}}, "unknown opcode"},
+		{"load index oob", Program{Ops: []Op{{Code: OpLoad, A: 2}}, Addrs: addr}, "addr index 2 out of range"},
+		{"store64 unaligned", Program{Ops: []Op{{Code: OpStore64, A: 1, B: 0}}, Addrs: []phys.Addr{0, 0x2004}, Vals: []uint64{7}}, "unaligned"},
+		{"store64 val oob", Program{Ops: []Op{{Code: OpStore64, A: 0, B: 1}}, Addrs: addr, Vals: []uint64{7}}, "value index 1 out of range"},
+		{"prime range oob", Program{Ops: []Op{{Code: OpPrime, A: 1, B: 2}}, Addrs: addr}, "addr range"},
+		{"range wraps", Program{Ops: []Op{{Code: OpLoadRec, A: ^uint32(0), B: 2}}, Addrs: addr}, "addr range"},
+		{"advance val oob", Program{Ops: []Op{{Code: OpAdvance, A: 0}}}, "advance value index"},
+		{"loop zero trips", Program{Ops: []Op{{Code: OpNop}, {Code: OpLoop, A: 0, B: 0}}}, "trip count"},
+		{"loop forward target", Program{Ops: []Op{{Code: OpLoop, A: 5, B: 2}}}, "forward"},
+		{"loops interleave", Program{Ops: []Op{
+			{Code: OpNop},              // 0
+			{Code: OpNop},              // 1
+			{Code: OpLoop, A: 0, B: 2}, // 2: spans [0,2]
+			{Code: OpLoop, A: 1, B: 2}, // 3: spans [1,3] — straddles op 2
+		}}, "interleave"},
+		{"nested loops ok", Program{Ops: []Op{
+			{Code: OpNop},
+			{Code: OpNop},
+			{Code: OpLoop, A: 1, B: 4},
+			{Code: OpLoop, A: 0, B: 4},
+		}}, ""},
+		{"step bound", Program{Ops: []Op{
+			{Code: OpNop},
+			{Code: OpLoop, A: 0, B: 1 << 10},
+			{Code: OpLoop, A: 0, B: 1 << 10},
+			{Code: OpLoop, A: 0, B: 1 << 10},
+		}}, "step bound"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.prog.Validate(mem)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate: unexpected error %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPrivileged(t *testing.T) {
+	c := NewCompiler()
+	c.Prime(pages(2, 4))
+	c.Probe(pages(2, 1)[0])
+	p, err := c.Compile(1 << 24)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if p.Privileged() {
+		t.Fatal("implicit program reported privileged")
+	}
+	c = NewCompiler()
+	c.Invlpg(0x1000)
+	c.Flush(0x1000)
+	c.Load(0x1000)
+	p, err = c.Compile(1 << 24)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if !p.Privileged() {
+		t.Fatal("invlpg+clflush program reported unprivileged")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := NewCompiler()
+	c.Store64(0x2000, 0xdeadbeefcafe)
+	c.Loop(3, func(c *Compiler) {
+		c.Prime(pages(4, 5))
+		c.Probe(0x7008)
+		c.Loop(2, func(c *Compiler) { c.Advance(17) })
+	})
+	c.LoadRec(pages(20, 3))
+	c.Fence()
+	c.ResetWindow()
+	p, err := c.Compile(1 << 24)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	enc, err := p.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(normalize(p), normalize(got)) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+	re, err := got.Encode()
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if !reflect.DeepEqual(enc, re) {
+		t.Fatal("Encode∘Decode is not the identity on the encoding")
+	}
+}
+
+// normalize maps empty slices to nil so DeepEqual compares content.
+func normalize(p *Program) Program {
+	q := *p
+	if len(q.Ops) == 0 {
+		q.Ops = nil
+	}
+	if len(q.Addrs) == 0 {
+		q.Addrs = nil
+	}
+	if len(q.Vals) == 0 {
+		q.Vals = nil
+	}
+	return q
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	p := &Program{Ops: []Op{{Code: OpLoad, A: 0}}, Addrs: []phys.Addr{0x1000}}
+	enc, err := p.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), enc...)
+		return f(b)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"short", enc[:encHeaderLen-1], "shorter"},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b }), "magic"},
+		{"bad version", mutate(func(b []byte) []byte { b[4] = 99; return b }), "version"},
+		{"reserved nonzero", mutate(func(b []byte) []byte { b[6] = 1; return b }), "reserved"},
+		{"truncated body", enc[:len(enc)-1], "want"},
+		{"trailing garbage", mutate(func(b []byte) []byte { return append(b, 0) }), "want"},
+		{"unknown opcode", mutate(func(b []byte) []byte { b[encHeaderLen] = byte(opCount); return b }), "unknown opcode"},
+		{"oversized counts", mutate(func(b []byte) []byte { putU32(b[8:], encMaxEntries+1); return b }), "cap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.data); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Decode = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunMatchesHandLoop replays a compiled program and the equivalent
+// hand-written machine calls on identically-configured machines and
+// demands bit-identical clocks, counters and reported cycles.
+func TestRunMatchesHandLoop(t *testing.T) {
+	prime := pages(8, 6)
+	thrash := pages(32, 4)
+	recs := pages(64, 3)
+	target := phys.Addr(0x7008)
+
+	c := NewCompiler()
+	c.Store64(0x4000, 42)
+	c.Loop(5, func(c *Compiler) {
+		c.Prime(prime)
+		c.TLBThrash(thrash)
+		c.Probe(target)
+		c.Advance(13)
+	})
+	c.LoadRec(recs)
+	c.ResetWindow()
+	prog, err := c.Compile(testConfig().MemBytes)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	ex, err := NewExecutor(prog)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+
+	mc := testMachine(t) // compiled
+	mh := testMachine(t) // hand loop
+	tr := ex.Run(mc)
+
+	var want Trace
+	want.Walked, want.LeafFromDRAM = true, true
+	var wantRec []timing.Cycles
+	want.Cycles += mh.Store64(0x4000, 42).Latency
+	for range 5 {
+		want.Cycles += mh.Prime(prime)
+		for _, a := range thrash {
+			want.Cycles += mh.Load(a).Latency
+		}
+		pr := mh.Probe(target)
+		want.Cycles += pr.Latency
+		want.Probes++
+		want.Walked = want.Walked && pr.Walked
+		want.LeafFromDRAM = want.LeafFromDRAM && pr.LeafFromDRAM
+		mh.Clock().Advance(13)
+		want.Cycles += 13
+	}
+	for _, a := range recs {
+		lat := mh.Load(a).Latency
+		want.Cycles += lat
+		wantRec = append(wantRec, lat)
+	}
+	mh.ResetRefreshWindow()
+
+	if tr != want {
+		t.Fatalf("trace mismatch:\n got %+v\nwant %+v", tr, want)
+	}
+	if got, wantNow := mc.Clock().Now(), mh.Clock().Now(); got != wantNow {
+		t.Fatalf("clock mismatch: compiled %d, hand %d", got, wantNow)
+	}
+	if got, wantSnap := mc.Counters().Snapshot(), mh.Counters().Snapshot(); got != wantSnap {
+		t.Fatalf("PMC mismatch:\n got %+v\nwant %+v", got, wantSnap)
+	}
+	if !reflect.DeepEqual(ex.Records(), wantRec) {
+		t.Fatalf("records mismatch:\n got %v\nwant %v", ex.Records(), wantRec)
+	}
+}
+
+// TestRunClockAgreement checks the executor invariant directly: the
+// reported Trace.Cycles equals the machine clock's delta, including on
+// a privileged program (invlpg charges nothing, clflush charges its
+// fixed cost).
+func TestRunClockAgreement(t *testing.T) {
+	c := NewCompiler()
+	c.Invlpg(0x3000)
+	c.Flush(0x3000)
+	c.Load(0x3000)
+	c.Loop(4, func(c *Compiler) {
+		c.Prime(pages(16, 4))
+		c.Probe(0x3000)
+	})
+	prog, err := c.Compile(testConfig().MemBytes)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m := testMachine(t)
+	ex := MustExecutor(prog)
+	start := m.Clock().Now()
+	tr := ex.Run(m)
+	if delta := m.Clock().Now() - start; delta != tr.Cycles {
+		t.Fatalf("clock advanced %d cycles but trace reports %d", delta, tr.Cycles)
+	}
+	flushes, invlpgs := m.PrivilegedOps()
+	if flushes != 1 || invlpgs != 1 {
+		t.Fatalf("PrivilegedOps = (%d, %d), want (1, 1)", flushes, invlpgs)
+	}
+}
+
+// TestRunTwiceReestablishesState checks that loop counters reset on
+// completion: a second Run executes the full trip count again, and the
+// record buffer is rewritten from the start.
+func TestRunTwiceReestablishesState(t *testing.T) {
+	c := NewCompiler()
+	c.Loop(7, func(c *Compiler) { c.Advance(11) })
+	c.LoadRec(pages(40, 2))
+	prog, err := c.Compile(testConfig().MemBytes)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m := testMachine(t)
+	ex := MustExecutor(prog)
+	tr1 := ex.Run(m)
+	rec1 := append([]timing.Cycles(nil), ex.Records()...)
+	tr2 := ex.Run(m)
+	if tr1.Cycles < 7*11 || tr2.Cycles < 7*11 {
+		t.Fatalf("loop under-executed: run1 %d, run2 %d cycles (want ≥ %d)", tr1.Cycles, tr2.Cycles, 7*11)
+	}
+	if len(rec1) != 2 || len(ex.Records()) != 2 {
+		t.Fatalf("record counts = %d then %d, want 2 and 2", len(rec1), len(ex.Records()))
+	}
+	// The second run's loads hit the cache, so only the padding cycles
+	// repeat exactly.
+	if tr2.Cycles >= tr1.Cycles {
+		t.Fatalf("second run (%d cycles) not faster than cold first run (%d)", tr2.Cycles, tr1.Cycles)
+	}
+}
+
+func TestCompilerElidesDegenerateLoops(t *testing.T) {
+	c := NewCompiler()
+	c.Loop(0, func(c *Compiler) { c.Load(0x1000) })
+	c.Loop(3, func(c *Compiler) {})
+	p, err := c.Compile(1 << 24)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if len(p.Ops) != 0 {
+		t.Fatalf("degenerate loops emitted %d ops, want 0", len(p.Ops))
+	}
+}
+
+func TestCompiledProgramIsSelfContained(t *testing.T) {
+	stream := pages(8, 4)
+	c := NewCompiler()
+	c.Prime(stream)
+	p, err := c.Compile(1 << 24)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	stream[0] = 0xdead000
+	if p.Addrs[0] == 0xdead000 {
+		t.Fatal("compiled program aliases the caller's stream slice")
+	}
+	if MustExecutor(p).Program() != p {
+		t.Fatal("Executor.Program does not return the program it was built from")
+	}
+}
+
+func TestOpCodeString(t *testing.T) {
+	if OpPrime.String() != "prime" || OpLoop.String() != "loop" {
+		t.Fatalf("mnemonics wrong: %v %v", OpPrime, OpLoop)
+	}
+	if got := OpCode(200).String(); got != "op(200)" {
+		t.Fatalf("out-of-range opcode renders %q", got)
+	}
+}
+
+// TestRunAllocs is the dynamic half of the noalloc contract: steady-state
+// replay allocates nothing.
+func TestRunAllocs(t *testing.T) {
+	c := NewCompiler()
+	c.Loop(3, func(c *Compiler) {
+		c.Prime(pages(8, 4))
+		c.Probe(0x5000)
+	})
+	c.LoadRec(pages(30, 2))
+	prog, err := c.Compile(testConfig().MemBytes)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m := testMachine(t)
+	ex := MustExecutor(prog)
+	ex.Run(m) // warm demand mappings
+	if n := testing.AllocsPerRun(10, func() { ex.Run(m) }); n != 0 {
+		t.Fatalf("Executor.Run allocates %.1f times per run, want 0", n)
+	}
+}

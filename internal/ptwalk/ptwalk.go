@@ -241,6 +241,8 @@ func (w *Walker) Translate(a mem.Access) (phys.Frame, mem.Result) {
 // Invalidate drops va's entries from all three paging-structure
 // caches — the paging-structure half of invlpg (the TLB half lives in
 // internal/tlb). It reports whether any cache held an entry.
+//
+//pthammer:noalloc
 func (w *Walker) Invalidate(va phys.Addr) bool {
 	any := false
 	for level := 2; level <= pagetable.Levels; level++ {

@@ -126,6 +126,8 @@ func (t *TLB) Translate(a mem.Access) (phys.Frame, mem.Result) {
 
 // Invalidate drops the page's translation from both levels (the
 // simulated invlpg), reporting whether any level held it.
+//
+//pthammer:noalloc
 func (t *TLB) Invalidate(a phys.Addr) bool {
 	vpn := vpnOf(a)
 	in1 := t.l1.Invalidate(vpn)
