@@ -219,6 +219,79 @@ func TestInvalidateKeepsLRUOrder(t *testing.T) {
 	}
 }
 
+// TestNoFalseHitOnTagZero pins the dead-lane SWAR regression: zeroBytes'
+// borrow propagation can flag dead lanes above a true fingerprint match,
+// and a dead slot's zeroed tag plane must never verify against a probed
+// tag of 0. Tag 0 is reachable — line 0 for the caches, VPN 0 for the
+// TLBs — so a false hit here let Invalidate(0) delete a live tag and
+// corrupt the recency permutation.
+func TestNoFalseHitOnTagZero(t *testing.T) {
+	// A nonzero tag whose stored fingerprint byte is 1 — the byte
+	// fpBroadcast(0) probes with — so its fingerprint match seeds the
+	// borrow that flags the dead lanes above it.
+	tag := uint64(1)
+	for (tag*fpMul)>>56 > 1 {
+		tag++
+	}
+
+	s := NewSetAssoc(1, 16)
+	s.Insert(tag)
+
+	if s.Lookup(0) {
+		t.Fatal("Lookup(0) hit a set that never held tag 0")
+	}
+	if s.Invalidate(0) {
+		t.Fatal("Invalidate(0) deleted from a set that never held tag 0")
+	}
+	if !s.Lookup(tag) || !s.Contains(tag) {
+		t.Fatalf("live tag %#x lost after Invalidate(0)", tag)
+	}
+
+	// Tag 0 itself stays a first-class tag: insertable, findable,
+	// removable.
+	if hit, _, _ := s.LookupInsert(0); hit {
+		t.Fatal("LookupInsert(0) hit before tag 0 was inserted")
+	}
+	if !s.Lookup(0) {
+		t.Fatal("tag 0 missing after insert")
+	}
+	if !s.Invalidate(0) || s.Lookup(0) {
+		t.Fatal("tag 0 did not invalidate cleanly")
+	}
+	if !s.Lookup(tag) {
+		t.Fatalf("live tag %#x lost after removing tag 0", tag)
+	}
+}
+
+// TestProbeBeyondWaysLanes pins the beyond-ways companion bug: with
+// fewer than 8 ways the fingerprint words cover lanes the tag plane
+// does not, so a candidate flag on such a lane sent verify into the
+// next set's tags — and past the end of the array on the last set. A
+// probed tag whose fingerprint equals the dead-lane byte makes every
+// beyond-ways lane a candidate, so without candMask this panics.
+func TestProbeBeyondWaysLanes(t *testing.T) {
+	const sets, ways = 16, 4 // the dTLB shape
+	// A tag in the last set whose fingerprint is the dead-lane byte.
+	tag := uint64(sets - 1)
+	for (tag*fpMul)>>56 != deadFP {
+		tag += sets
+	}
+
+	s := NewSetAssoc(sets, ways)
+	if s.Lookup(tag) || s.Invalidate(tag) {
+		t.Fatal("empty structure reported a hit")
+	}
+	if _, ok := s.LookupV(tag); ok {
+		t.Fatal("empty structure returned a value")
+	}
+	if hit, _, _ := s.LookupInsert(tag); hit {
+		t.Fatal("LookupInsert hit on first insert")
+	}
+	if !s.Lookup(tag) {
+		t.Fatal("tag missing after insert")
+	}
+}
+
 // BenchmarkLookupInsertMiss measures the fused probe on a miss-heavy
 // stream against a full 16-way set (the LLC shape).
 func BenchmarkLookupInsertMiss(b *testing.B) {

@@ -22,7 +22,7 @@ const MaxWays = 16
 // cache line with a single bounds check.
 type setHdr struct {
 	// fp holds the 8-bit fingerprint of each slot's tag, slot i in
-	// byte i&7 of word i>>3.
+	// byte i&7 of word i>>3. Dead and beyond-ways lanes hold deadFP.
 	fp [2]uint64
 	// order is the recency permutation: 16 nibbles, each a slot index,
 	// most-recently-used at nibble 0. Invariant: always a full
@@ -70,7 +70,14 @@ type SetAssoc struct {
 	// winMask covers the low 4*ways bits of the permutation — the
 	// window that rotates when a full set evicts.
 	winMask uint64
-	hdr     []setHdr
+	// candMask keeps the SWAR candidate flags to lanes < ways. Lanes
+	// beyond the associativity share the fingerprint words but have no
+	// tag-plane slots, so an unmasked flag there would send verify into
+	// the next set's tags — or past the end of the array on the last
+	// set. The mask depends only on the shape, so it is one AND per
+	// word on the probe path.
+	candMask [2]uint64
+	hdr      []setHdr
 	// tags[set*ways ... set*ways+hdr[set].live) are the live tags.
 	tags []uint64
 	// vals[i] is the payload stored alongside tags[i]. Nil for tag-only
@@ -87,6 +94,18 @@ const (
 	hi4   = 0x8888888888888888
 	// orderInit parks slot index i at nibble position i.
 	orderInit = 0xFEDCBA9876543210
+	// deadFP is the fingerprint of a dead (or beyond-ways) lane. The
+	// choice is load-bearing: the zeroBytes scan can only flag a lane
+	// whose XOR byte is 0x00, or 0x01 with a borrow propagating in, so
+	// a flagged lane's fingerprint is within 1 of the probed one. The
+	// only probed tag that could falsely verify against a dead slot's
+	// zeroed tag plane is tag 0 — reachable as line 0 or VPN 0 — and
+	// tag 0 always probes with fingerprint 1 (fpBroadcast maps a
+	// computed 0 to 1), XOR 0x81 against deadFP: high bit set, never
+	// flagged, not even spuriously. Dead lanes within the
+	// associativity therefore need no live masking on the probe fast
+	// path; lanes beyond it are excluded by candMask.
+	deadFP = 0x80
 )
 
 // NewSetAssoc builds an array of sets × ways slots with a payload plane
@@ -116,17 +135,20 @@ func NewSetAssocTags(sets, ways int) *SetAssoc {
 		hdr:      make([]setHdr, sets),
 		tags:     make([]uint64, uint64(sets)*uint64(ways)),
 	}
+	for w := 0; w < ways; w++ {
+		s.candMask[w>>3] |= uint64(0x80) << ((w & 7) * 8)
+	}
 	for i := range s.hdr {
 		s.hdr[i].order = orderInit
+		s.hdr[i].fp = [2]uint64{deadFP * lo8, deadFP * lo8}
 	}
 	return s
 }
 
 // fpBroadcast returns the tag's 8-bit fingerprint replicated into every
-// byte lane, ready for the SWAR match. Fingerprint 0 is reserved for
-// dead lanes (a computed 0 maps to 1), which is what lets the probes
-// skip masking by the live count: a dead or beyond-ways lane holds 0
-// and can never equal a live fingerprint.
+// byte lane, ready for the SWAR match. A computed fingerprint of 0 maps
+// to 1, pinning tag 0's probe byte to 1 — the deadFP invariant relies
+// on it — and keeping dead lanes (deadFP) out of the common probes.
 //
 //pthammer:noalloc
 func fpBroadcast(tag uint64) uint64 {
@@ -192,6 +214,14 @@ func (h *setHdr) touch(slot uint64) {
 // stays branch-predictable straight-line code with no call) and only
 // pay this call when some lane's fingerprint matched.
 //
+// Dead lanes need no masking here even though borrow propagation can
+// flag one above a true fingerprint match: a dead slot's tag plane is
+// zeroed, so it could only "verify" against a probed tag of 0, and tag
+// 0's probe byte (1) XOR deadFP has the high bit set — zeroBytes can
+// never flag a dead lane for it (see deadFP). Keeping that invariant in
+// the fingerprint plane rather than as a live-count check here keeps
+// this function within the inlining budget; the hit path pays no call.
+//
 //pthammer:noalloc
 func (s *SetAssoc) verify(base, cand0, cand1, tag uint64) (slot uint64, ok bool) {
 	for cand0 != 0 {
@@ -220,8 +250,8 @@ func (s *SetAssoc) Lookup(tag uint64) bool {
 	idx := tag & s.setMask
 	h := &s.hdr[idx]
 	b := fpBroadcast(tag)
-	cand0 := zeroBytes(h.fp[0] ^ b)
-	cand1 := zeroBytes(h.fp[1] ^ b)
+	cand0 := zeroBytes(h.fp[0]^b) & s.candMask[0]
+	cand1 := zeroBytes(h.fp[1]^b) & s.candMask[1]
 	if cand0|cand1 != 0 {
 		if slot, ok := s.verify(idx*s.ways, cand0, cand1, tag); ok {
 			h.touch(slot)
@@ -240,8 +270,8 @@ func (s *SetAssoc) LookupV(tag uint64) (val uint64, hit bool) {
 	h := &s.hdr[idx]
 	base := idx * s.ways
 	b := fpBroadcast(tag)
-	cand0 := zeroBytes(h.fp[0] ^ b)
-	cand1 := zeroBytes(h.fp[1] ^ b)
+	cand0 := zeroBytes(h.fp[0]^b) & s.candMask[0]
+	cand1 := zeroBytes(h.fp[1]^b) & s.candMask[1]
 	if cand0|cand1 != 0 {
 		if slot, ok := s.verify(base, cand0, cand1, tag); ok {
 			h.touch(slot)
@@ -291,8 +321,8 @@ func (s *SetAssoc) LookupInsertV(tag, val uint64) (hit bool, cur uint64, evicted
 	h := &s.hdr[idx]
 	base := idx * s.ways
 	b := fpBroadcast(tag)
-	cand0 := zeroBytes(h.fp[0] ^ b)
-	cand1 := zeroBytes(h.fp[1] ^ b)
+	cand0 := zeroBytes(h.fp[0]^b) & s.candMask[0]
+	cand1 := zeroBytes(h.fp[1]^b) & s.candMask[1]
 	if cand0|cand1 != 0 {
 		if slot, ok := s.verify(base, cand0, cand1, tag); ok {
 			h.touch(slot)
@@ -365,8 +395,8 @@ func (s *SetAssoc) Invalidate(tag uint64) bool {
 	base := idx * s.ways
 	n := h.live
 	b := fpBroadcast(tag)
-	cand0 := zeroBytes(h.fp[0] ^ b)
-	cand1 := zeroBytes(h.fp[1] ^ b)
+	cand0 := zeroBytes(h.fp[0]^b) & s.candMask[0]
+	cand1 := zeroBytes(h.fp[1]^b) & s.candMask[1]
 	if cand0|cand1 == 0 {
 		return false
 	}
@@ -391,7 +421,7 @@ func (s *SetAssoc) Invalidate(tag uint64) bool {
 	// Park the now-unused slot index at its canonical position.
 	h.order = insertNibble(ord, last, last)
 	s.tags[base+last] = 0
-	h.setFP(last, 0)
+	h.setFP(last, deadFP)
 	if s.vals != nil {
 		s.vals[base+last] = 0
 	}

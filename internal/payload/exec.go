@@ -100,7 +100,9 @@ func (e *Executor) Run(m *machine.Machine) Trace {
 	rec := e.rec
 	nrec := 0
 	tr := Trace{Walked: true, LeafFromDRAM: true}
-	for pc := 0; pc < len(ops); pc++ {
+	// pc is int64 so the OpLoop jump below cannot wrap on 32-bit hosts
+	// even for a program that skipped validation.
+	for pc := int64(0); pc < int64(len(ops)); pc++ {
 		op := ops[pc]
 		switch op.Code {
 		case OpLoad:
@@ -139,7 +141,7 @@ func (e *Executor) Run(m *machine.Machine) Trace {
 		case OpLoop:
 			counters[pc]++
 			if counters[pc] < op.B {
-				pc = int(op.A) - 1
+				pc = int64(op.A) - 1
 			} else {
 				counters[pc] = 0
 			}

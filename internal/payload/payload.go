@@ -162,7 +162,10 @@ func (p *Program) loopWeights() ([]uint64, error) {
 		if op.B == 0 {
 			return nil, fmt.Errorf("payload: op %d: loop trip count must be ≥ 1", pc)
 		}
-		if int(op.A) > pc {
+		// Compare in uint64: on 32-bit platforms int(op.A) wraps
+		// negative for targets >= 2^31 and would slip past this check,
+		// then panic the executor with a negative pc.
+		if uint64(op.A) > uint64(pc) {
 			return nil, fmt.Errorf("payload: op %d: loop target %d is forward (loops must jump backward)", pc, op.A)
 		}
 		spans = append(spans, span{lo: int(op.A), hi: pc})

@@ -74,6 +74,10 @@ func TestValidateErrors(t *testing.T) {
 		{"advance val oob", Program{Ops: []Op{{Code: OpAdvance, A: 0}}}, "advance value index"},
 		{"loop zero trips", Program{Ops: []Op{{Code: OpNop}, {Code: OpLoop, A: 0, B: 0}}}, "trip count"},
 		{"loop forward target", Program{Ops: []Op{{Code: OpLoop, A: 5, B: 2}}}, "forward"},
+		// Targets >= 2^31 must fail the backward check on 32-bit hosts
+		// too, where int(op.A) wraps negative — a wrapped target would
+		// validate and then drive the executor's pc negative.
+		{"loop target wraps 32-bit int", Program{Ops: []Op{{Code: OpNop}, {Code: OpLoop, A: 1 << 31, B: 2}}}, "forward"},
 		{"loops interleave", Program{Ops: []Op{
 			{Code: OpNop},              // 0
 			{Code: OpNop},              // 1
