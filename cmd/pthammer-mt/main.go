@@ -13,17 +13,25 @@
 //     leaf-PTE rows until a flip in the sandwiched victim row remaps a
 //     victim page onto an attacker-owned frame; the attacker's marker
 //     read back through the victim's own translation is the breach.
+//   - mt-population: thousands of attacker/victim tenant pairs
+//     time-sliced over a bounded pool of recycled front-ends
+//     (internal/cohort), tabulating breach, dilution and table-flip
+//     rates per 10⁶ tenants across module classes A/B/C and both table
+//     striping layouts.
 //
 // Every core runs in its own goroutine, but the interleaver grants
 // quanta lowest-clock-first with a fixed tiebreak, so the output bytes
 // are a pure function of the flags — in particular independent of
-// -procs (GOMAXPROCS). CI asserts this by diffing runs at -procs 1, 2
-// and 4, twice each.
+// -procs (GOMAXPROCS) and of -pool (the population runs' front-end
+// count). CI asserts this by diffing runs at -procs 1, 2 and 4, twice
+// each, and the population table additionally across two -pool sizes.
 //
 // Usage:
 //
-//	pthammer-mt [-scenario all|amplify|noisy|cross-tenant] [-seed N]
-//	            [-windows N] [-xt-seed N] [-xt-windows N] [-procs N] [-o FILE]
+//	pthammer-mt [-scenario all|amplify|noisy|cross-tenant|population]
+//	            [-seed N] [-windows N] [-xt-seed N] [-xt-windows N]
+//	            [-pool N] [-pop-tenants N] [-pop-seed N] [-pop-windows N]
+//	            [-procs N] [-o FILE]
 //
 // Exit codes: 0 success, 1 simulation failure, 2 usage error, 3 output
 // write failure.
@@ -38,6 +46,9 @@ import (
 	"runtime"
 
 	"pthammer/internal/bench"
+	"pthammer/internal/cohort"
+	"pthammer/internal/flip"
+	"pthammer/internal/machine"
 )
 
 const (
@@ -97,25 +108,94 @@ func renderCrossTenant(buf *bytes.Buffer, seed int64, maxWindows int) error {
 	return nil
 }
 
+// renderPopulation runs tenant populations through bounded cohort
+// pools and appends table 4. Every class reuses the layout's pool —
+// the construct-once/reset-many lifecycle the cohort scheduler exists
+// for — and each row's story is asserted before the bytes are kept:
+// interleaved striping must breach for class A and split the
+// population between diluted and undiluted tenants, blocked striping
+// must be fully defensive.
+func renderPopulation(buf *bytes.Buffer, frontEnds, tenants int, seed int64, windows int) error {
+	fmt.Fprintf(buf, "# table 4: mt-population — tenant populations over a bounded core pool, rates per 10^6 tenants (tenants=%d/row windows=%d seed=%d)\n",
+		tenants, windows, seed)
+	fmt.Fprintf(buf, "layout\tclass\ttenants\tbreached_per_M\tdiluted_per_M\ttable_flips_per_M\tmean_peak_pressure\tmax_peak_pressure\tmean_iters\n")
+	for _, layout := range []machine.TableLayout{machine.LayoutInterleaved, machine.LayoutBlocked} {
+		pool, err := cohort.NewPool(frontEnds, layout)
+		if err != nil {
+			return fmt.Errorf("population: %w", err)
+		}
+		flips := make([]int, 0, 3)
+		for _, class := range []flip.Profile{flip.ClassA(), flip.ClassB(), flip.ClassC()} {
+			pop, err := pool.Run(cohort.Spec{Profile: class, Tenants: tenants, Seed: seed, Windows: windows})
+			if err != nil {
+				return fmt.Errorf("population: %v class %s: %w", layout, class.Name, err)
+			}
+			fmt.Fprintf(buf, "%v\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				layout, class.Name, pop.Tenants,
+				pop.BreachedPerM(), pop.DilutedPerM(), pop.TableFlipsPerM(),
+				pop.MeanPeakPressure, pop.MaxPeakPressure, pop.MeanIterations)
+			flips = append(flips, pop.TableFlips)
+			switch layout {
+			case machine.LayoutInterleaved:
+				if class.Name == "A" && pop.Breached == 0 {
+					return fmt.Errorf("population: interleaved class A never breached: %+v", pop)
+				}
+				if pop.Diluted == 0 || pop.Diluted == pop.Tenants {
+					return fmt.Errorf("population: interleaved class %s dilution is degenerate: %+v", class.Name, pop)
+				}
+			case machine.LayoutBlocked:
+				if pop.Breached != 0 || pop.TableFlips != 0 || pop.Diluted != pop.Tenants {
+					return fmt.Errorf("population: blocked class %s is not defensive: %+v", class.Name, pop)
+				}
+			}
+		}
+		if layout == machine.LayoutInterleaved && !(flips[0] >= flips[1] && flips[1] >= flips[2]) {
+			return fmt.Errorf("population: table flips not monotone across classes: %v", flips)
+		}
+	}
+	return nil
+}
+
+// params is one render's full input: the output bytes are a pure
+// function of it (minus procs, which only sets GOMAXPROCS, and pool,
+// which only sizes the population runs' front-end pool).
+type params struct {
+	scenario   string
+	seed       int64
+	windows    int
+	xtSeed     int64
+	xtWindows  int
+	pool       int
+	popTenants int
+	popSeed    int64
+	popWindows int
+}
+
 // render produces the full deterministic report for the selected
 // scenario(s).
-// The header deliberately omits -procs: CI diffs the bytes across
-// -procs values, so nothing scheduling-dependent may appear in them.
-func render(scenario string, seed int64, windows int, xtSeed int64, xtWindows int) ([]byte, error) {
+// The header deliberately omits -procs and -pool: CI diffs the bytes
+// across both, so nothing scheduling- or pool-shape-dependent may
+// appear in them.
+func render(p params) ([]byte, error) {
 	var buf bytes.Buffer
-	fmt.Fprintf(&buf, "# pthammer-mt preset=SandyBridge(escalation scale) scenario=%s\n", scenario)
-	if scenario == "all" || scenario == "amplify" {
-		if err := renderAmplify(&buf, seed, windows); err != nil {
+	fmt.Fprintf(&buf, "# pthammer-mt preset=SandyBridge(escalation scale) scenario=%s\n", p.scenario)
+	if p.scenario == "all" || p.scenario == "amplify" {
+		if err := renderAmplify(&buf, p.seed, p.windows); err != nil {
 			return nil, err
 		}
 	}
-	if scenario == "all" || scenario == "noisy" {
-		if err := renderNoisy(&buf, seed, windows); err != nil {
+	if p.scenario == "all" || p.scenario == "noisy" {
+		if err := renderNoisy(&buf, p.seed, p.windows); err != nil {
 			return nil, err
 		}
 	}
-	if scenario == "all" || scenario == "cross-tenant" {
-		if err := renderCrossTenant(&buf, xtSeed, xtWindows); err != nil {
+	if p.scenario == "all" || p.scenario == "cross-tenant" {
+		if err := renderCrossTenant(&buf, p.xtSeed, p.xtWindows); err != nil {
+			return nil, err
+		}
+	}
+	if p.scenario == "all" || p.scenario == "population" {
+		if err := renderPopulation(&buf, p.pool, p.popTenants, p.popSeed, p.popWindows); err != nil {
 			return nil, err
 		}
 	}
@@ -128,11 +208,15 @@ func render(scenario string, seed int64, windows int, xtSeed int64, xtWindows in
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pthammer-mt", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	scenario := fs.String("scenario", "all", "which scenario to run: all, amplify, noisy or cross-tenant")
+	scenario := fs.String("scenario", "all", "which scenario to run: all, amplify, noisy, cross-tenant or population")
 	seed := fs.Int64("seed", 4, "flip-model seed for the amplify and noisy scenarios")
 	windows := fs.Int("windows", 4, "refresh windows per arm for the amplify and noisy scenarios")
 	xtSeed := fs.Int64("xt-seed", 1, "flip-model seed for the cross-tenant escalation")
 	xtWindows := fs.Int("xt-windows", 60, "refresh-window budget for the cross-tenant escalation")
+	pool := fs.Int("pool", 8, "front-ends in the population runs' core pool; the output must not depend on it")
+	popTenants := fs.Int("pop-tenants", 2000, "tenants per population row (6 rows: 3 classes x 2 layouts)")
+	popSeed := fs.Int64("pop-seed", 1, "population seed; per-tenant seeds are mixed from it")
+	popWindows := fs.Int("pop-windows", 3, "refresh windows per tenant slice in the population runs")
 	procs := fs.Int("procs", 0, "GOMAXPROCS for the run (0 keeps the runtime default); the output must not depend on it")
 	out := fs.String("o", "", "output path (default stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -145,13 +229,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 	switch *scenario {
-	case "all", "amplify", "noisy", "cross-tenant":
+	case "all", "amplify", "noisy", "cross-tenant", "population":
 	default:
 		fmt.Fprintf(stderr, "pthammer-mt: unknown -scenario %q\n", *scenario)
 		return exitUsage
 	}
-	if *windows < 1 || *xtWindows < 1 {
-		fmt.Fprintf(stderr, "pthammer-mt: window counts must be positive (got %d, %d)\n", *windows, *xtWindows)
+	if *windows < 1 || *xtWindows < 1 || *popWindows < 1 {
+		fmt.Fprintf(stderr, "pthammer-mt: window counts must be positive (got %d, %d, %d)\n", *windows, *xtWindows, *popWindows)
+		return exitUsage
+	}
+	if *pool < 2 || *popTenants < 1 {
+		fmt.Fprintf(stderr, "pthammer-mt: population needs -pool >= 2 and -pop-tenants >= 1 (got %d, %d)\n", *pool, *popTenants)
 		return exitUsage
 	}
 	if *procs < 0 {
@@ -162,7 +250,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(*procs))
 	}
 
-	report, err := render(*scenario, *seed, *windows, *xtSeed, *xtWindows)
+	report, err := render(params{
+		scenario:   *scenario,
+		seed:       *seed,
+		windows:    *windows,
+		xtSeed:     *xtSeed,
+		xtWindows:  *xtWindows,
+		pool:       *pool,
+		popTenants: *popTenants,
+		popSeed:    *popSeed,
+		popWindows: *popWindows,
+	})
 	if err != nil {
 		fmt.Fprintln(stderr, "pthammer-mt:", err)
 		return exitRuntime

@@ -8,10 +8,15 @@ import (
 	"testing"
 )
 
-// fullReport renders all three scenarios at the default seeds.
+// fullReport renders all four scenarios at the default seeds, with the
+// population rows scaled down to keep the test quick (200 tenants per
+// row is still enough for every row's story assertion to hold).
 func fullReport(t *testing.T) []byte {
 	t.Helper()
-	out, err := render("all", 4, 4, 1, 60)
+	out, err := render(params{
+		scenario: "all", seed: 4, windows: 4, xtSeed: 1, xtWindows: 60,
+		pool: 8, popTenants: 200, popSeed: 1, popWindows: 3,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,6 +50,10 @@ func TestReportLayout(t *testing.T) {
 		"# table 3: mt-cross-tenant-escalation",
 		"attacker_rows\tvictim_row\twindows\titerations\tflips\tdiverged_va\thijacked_frame\tbreached",
 		"\ttrue\n",
+		"# table 4: mt-population",
+		"layout\tclass\ttenants\tbreached_per_M\tdiluted_per_M\ttable_flips_per_M\tmean_peak_pressure\tmax_peak_pressure\tmean_iters",
+		"\ninterleaved\tA\t", "\ninterleaved\tB\t", "\ninterleaved\tC\t",
+		"\nblocked\tA\t", "\nblocked\tB\t", "\nblocked\tC\t",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
@@ -66,10 +75,35 @@ func TestRunSingleScenario(t *testing.T) {
 	if !strings.Contains(out, "# table 1: mt-colocated-amplify") {
 		t.Errorf("amplify table missing:\n%s", out)
 	}
-	for _, absent := range []string{"# table 2", "# table 3"} {
+	for _, absent := range []string{"# table 2", "# table 3", "# table 4"} {
 		if strings.Contains(out, absent) {
 			t.Errorf("unexpected %s in -scenario amplify output:\n%s", absent, out)
 		}
+	}
+}
+
+// TestRunPopulationScenario: -scenario population emits only table 4,
+// and its bytes are independent of the pool's front-end count.
+func TestRunPopulationScenario(t *testing.T) {
+	render := func(pool string) string {
+		var stdout, stderr bytes.Buffer
+		args := []string{"-scenario", "population", "-pop-tenants", "120", "-pool", pool}
+		if code := run(args, &stdout, &stderr); code != exitOK {
+			t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	out := render("8")
+	if !strings.Contains(out, "# table 4: mt-population") {
+		t.Errorf("population table missing:\n%s", out)
+	}
+	for _, absent := range []string{"# table 1", "# table 2", "# table 3"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("unexpected %s in -scenario population output:\n%s", absent, out)
+		}
+	}
+	if narrow := render("4"); narrow != out {
+		t.Errorf("population bytes depend on the pool size:\n--- pool 8 ---\n%s--- pool 4 ---\n%s", out, narrow)
 	}
 }
 
@@ -95,6 +129,9 @@ func TestRunUsageErrors(t *testing.T) {
 		{"-scenario", "bogus"},
 		{"-windows", "0"},
 		{"-xt-windows", "-1"},
+		{"-pop-windows", "0"},
+		{"-pool", "1"},
+		{"-pop-tenants", "0"},
 		{"-procs", "-2"},
 		{"stray"},
 		{"-not-a-flag"},

@@ -45,6 +45,10 @@ var deterministicSuffixes = []string{
 	// to clock deltas and PMC banks, so nondeterminism here is a
 	// correctness bug, not jitter.
 	"internal/payload",
+	// The cohort scheduler's population tables are byte-diffed across
+	// GOMAXPROCS and pool sizes in CI; per-tenant randomness must come
+	// from the mixed tenant seed alone.
+	"internal/cohort",
 }
 
 // randConstructors are the math/rand package-level functions that build

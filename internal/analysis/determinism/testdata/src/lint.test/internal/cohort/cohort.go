@@ -1,0 +1,35 @@
+// Package cohort is a determinism fixture for the internal/cohort
+// path suffix: population tables are byte-diffed across GOMAXPROCS and
+// pool sizes in CI, so per-tenant randomness must derive from the
+// mixed tenant seed and merged statistics must not depend on map
+// order.
+package cohort
+
+import "math/rand"
+
+// tenantSeed draws from the global rand: flagged, the whole point of
+// the seed mixer is that tenant randomness is a pure function of
+// (population seed, index).
+func tenantSeed(tenant int) int64 {
+	return rand.Int63() // want `call to global rand.Int63 in deterministic package`
+}
+
+// mergeRates folds per-class tallies in map order: flagged, the table
+// rows' order (and any order-dependent accumulation) would vary run to
+// run.
+func mergeRates(byClass map[string]int) int {
+	total := 0
+	for _, n := range byClass { // want `range over map in deterministic package`
+		total += n
+	}
+	return total
+}
+
+// mixSeed is the deterministic way: splitmix the population seed with
+// the tenant index.
+func mixSeed(pop int64, tenant int) int64 {
+	z := uint64(pop) + (uint64(tenant)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	return int64(z)
+}

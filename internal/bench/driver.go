@@ -13,6 +13,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"pthammer/internal/evset"
 	"pthammer/internal/fault"
@@ -132,13 +133,62 @@ type Verdict struct {
 	Result *EscalationResult
 }
 
-// RunEscalationResilient builds the demo machine for (profile, seed) —
-// wiring in a fault model for fcfg when non-nil, stamped with the same
-// seed — and drives the budgeted escalation state machine to a
-// Verdict. The error return is for misuse only (invalid budget,
-// profile, fault config, or machine construction); every attack-path
-// failure comes back as a structured Verdict. Deterministic per
-// (profile, seed, fcfg, budget).
+// escalationMachines is the demo-machine free list behind
+// RunEscalationResilient: every run uses the identical EscalationConfig
+// shape apart from its models, and the Reset/Recycle contract
+// guarantees a recycled machine is observationally fresh, so released
+// machines are rebound to the next run's (profile, seed)-stamped
+// models with ResetWithModels instead of reconstructing the whole
+// memory system. The mutex makes concurrent runs (the robustness
+// matrix, parallel tests) safe; the cap bounds how many idle machines
+// stay live.
+var escalationMachines struct {
+	sync.Mutex
+	free []*machine.Machine
+}
+
+const escalationMachineCap = 4
+
+// acquireEscalationMachine returns a recycled demo machine bound to
+// the given models, constructing one only when the free list is empty.
+// A machine whose rebind fails is discarded, never returned or pooled.
+func acquireEscalationMachine(fm *flip.Model, fam *fault.Model) (*machine.Machine, error) {
+	escalationMachines.Lock()
+	var m *machine.Machine
+	if n := len(escalationMachines.free); n > 0 {
+		m = escalationMachines.free[n-1]
+		escalationMachines.free = escalationMachines.free[:n-1]
+	}
+	escalationMachines.Unlock()
+	if m == nil {
+		cfg := EscalationConfig(fm)
+		cfg.FaultModel = fam
+		return machine.New(cfg)
+	}
+	if err := m.ResetWithModels(fm, fam); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// releaseEscalationMachine parks a machine for the next run, dropping
+// it once the free list is full.
+func releaseEscalationMachine(m *machine.Machine) {
+	escalationMachines.Lock()
+	if len(escalationMachines.free) < escalationMachineCap {
+		escalationMachines.free = append(escalationMachines.free, m)
+	}
+	escalationMachines.Unlock()
+}
+
+// RunEscalationResilient recycles (or builds) the demo machine for
+// (profile, seed) — wiring in a fault model for fcfg when non-nil,
+// stamped with the same seed — and drives the budgeted escalation
+// state machine to a Verdict. The error return is for misuse only
+// (invalid budget, profile, fault config, or machine construction);
+// every attack-path failure comes back as a structured Verdict.
+// Deterministic per (profile, seed, fcfg, budget) — machine reuse
+// cannot leak into the outcome, by the Reset/Recycle contract.
 func RunEscalationResilient(profile flip.Profile, seed int64, fcfg *fault.Config, budget Budget) (Verdict, error) {
 	if err := budget.Validate(); err != nil {
 		return Verdict{}, err
@@ -147,21 +197,20 @@ func RunEscalationResilient(profile flip.Profile, seed int64, fcfg *fault.Config
 	if err != nil {
 		return Verdict{}, err
 	}
-	cfg := EscalationConfig(model)
+	var fam *fault.Model
 	if fcfg != nil {
 		fc := *fcfg
 		fc.Seed = seed
-		fm, err := fault.NewModel(fc)
-		if err != nil {
+		if fam, err = fault.NewModel(fc); err != nil {
 			return Verdict{}, err
 		}
-		cfg.FaultModel = fm
 	}
-	m, err := machine.New(cfg)
+	m, err := acquireEscalationMachine(model, fam)
 	if err != nil {
 		return Verdict{}, err
 	}
-	window := timing.Cycles(cfg.DRAM.RefreshWindow)
+	defer releaseEscalationMachine(m)
+	window := timing.Cycles(m.Config().DRAM.RefreshWindow)
 	if window == 0 {
 		return Verdict{}, fmt.Errorf("bench: resilient escalation needs a windowed machine")
 	}

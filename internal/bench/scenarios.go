@@ -15,8 +15,10 @@ import (
 	"pthammer/internal/machine"
 	"pthammer/internal/mem"
 	"pthammer/internal/payload"
+	"pthammer/internal/perf"
 	"pthammer/internal/phys"
 	"pthammer/internal/sweep"
+	"pthammer/internal/timing"
 )
 
 // Scenario is one standard measurement: a name, the number of
@@ -63,6 +65,9 @@ func newMachine() *machine.Machine {
 //	cold-load-sweep      stride past cache and TLB reach, full-miss loads
 //	tlb-thrash           page stride past sTLB reach, walk-heavy loads
 //	loadn-batch-64       batched LoadN over a reused result buffer
+//	dram-recycle-reset   cohort-turnover recycle of a large module with a
+//	                     small touched set; pins the O(banks + touched)
+//	                     epoch-lazy reset
 //	sweep-engine         parallel Figure 5/6 padding sweep, end to end
 func Scenarios() []Scenario {
 	return []Scenario{
@@ -327,6 +332,48 @@ func Scenarios() []Scenario {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					buf = m.LoadN(addrs, buf[:0])
+				}
+			},
+		},
+		{
+			// The Reset/Recycle cost pin: one cohort slice's worth of
+			// DRAM traffic (64 touched rows) followed by a recycle on a
+			// 2^16-row module. Port.Reset is contractually
+			// O(banks + touched rows); an implementation that scrubbed
+			// the per-row ACT arrays instead of epoch-bumping would be
+			// orders of magnitude slower here and trip the gate, which
+			// is how cohort turnover is kept from silently reintroducing
+			// an O(rows) scrub.
+			Name:        "dram-recycle-reset",
+			LoadsPerOp:  64,
+			SteadyState: true,
+			Run: func(b *testing.B) {
+				cfg := dram.Config{
+					Channels: 1, RanksPerChannel: 1, BanksPerRank: 8,
+					Rows: 1 << 16, RowBytes: 8192,
+					HammerThreshold: 100,
+				}
+				clock := timing.MustNewClock(3_400_000_000)
+				d, err := dram.New(cfg, clock, &perf.Counters{}, timing.DefaultLatencies())
+				if err != nil {
+					b.Fatal(err)
+				}
+				addrs := make([]mem.Access, 64)
+				for r := range addrs {
+					addrs[r] = mem.Access{Addr: cfg.AddrOf(dram.Location{Row: uint64(r) * 11})}
+				}
+				// Warm the per-bank touched-slice capacity so the
+				// measured loop is allocation-free.
+				for _, a := range addrs {
+					d.Lookup(a)
+				}
+				d.Reset()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, a := range addrs {
+						d.Lookup(a)
+					}
+					d.Reset()
 				}
 			},
 		},

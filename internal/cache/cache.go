@@ -103,6 +103,19 @@ func NewShared(llc Config, lat timing.LatencyTable) (*SharedLLC, error) {
 // Cores returns how many per-core hierarchies are attached.
 func (s *SharedLLC) Cores() int { return len(s.cores) }
 
+// Reset restores the shared slice to its just-built state: the LLC tag
+// array empties and the cross-core arbitration bookkeeping rewinds, so
+// the first access of the next cohort pays no stale arbitration
+// charge. Per-core private levels are reset by each Hierarchy's Reset
+// — once per core, while this runs once per machine (the Reset/Recycle
+// contract).
+//
+//pthammer:noalloc
+func (s *SharedLLC) Reset() {
+	s.llc.Reset()
+	s.lastCore = -1
+}
+
 // backInvalidate preserves inclusivity machine-wide: the evicted LLC
 // line is dropped from every attached core's private levels, whichever
 // core's fill caused the eviction.
@@ -194,6 +207,16 @@ func NewCore(l1, l2 Config, shared *SharedLLC, core int, next mem.Device, clock 
 
 // Shared returns the LLC slice this hierarchy is attached to.
 func (h *Hierarchy) Shared() *SharedLLC { return h.shared }
+
+// Reset empties this core's private levels (L1 and L2). The shared LLC
+// is reset separately via SharedLLC.Reset, because on a multi-core
+// machine it must be reset exactly once, not once per core.
+//
+//pthammer:noalloc
+func (h *Hierarchy) Reset() {
+	h.l1.Reset()
+	h.l2.Reset()
+}
 
 // lineOf returns the line number containing the address.
 //

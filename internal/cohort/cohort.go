@@ -1,0 +1,348 @@
+// Package cohort schedules large tenant populations over a bounded
+// pool of per-core front-ends. It is the consumer the machine stack's
+// Reset/Recycle contract exists for: a Pool constructs its machines
+// once, then recycles them for every tenant — machine.MultiMachine
+// Reset between tenants, flip.Model ResetTo re-stamping the module
+// class and per-tenant seed — so simulating 10⁴+ tenants allocates
+// like simulating a handful.
+//
+// Determinism is the package's load-bearing property, and it is
+// layered:
+//
+//   - within a slice, every active unit's two cores run under one
+//     internal/core interleaver, so the schedule is bit-identical for
+//     any GOMAXPROCS value;
+//   - across pool sizes, tenants are observationally independent —
+//     each runs on a freshly recycled unit whose post-Reset state is
+//     bit-identical to construction (the reset-equivalence difftest in
+//     internal/machine) and units share no simulated state — so
+//     regrouping tenants into wider or narrower slices cannot change
+//     any tenant's outcome;
+//   - per-tenant randomness (the flip model's sampling, the victim's
+//     load jitter) derives from a seed mixed from the population seed
+//     and the tenant index alone.
+//
+// CI pins all three: population tables must be byte-identical across
+// GOMAXPROCS {1,2,4} and across two pool sizes.
+package cohort
+
+import (
+	"fmt"
+
+	"pthammer/internal/core"
+	"pthammer/internal/flip"
+	"pthammer/internal/machine"
+	"pthammer/internal/phys"
+	"pthammer/internal/timing"
+)
+
+// Spec describes one population run: how many tenants of one module
+// class to push through the pool, and the per-tenant slice budget.
+type Spec struct {
+	// Profile is the flip-model module class every tenant's DRAM is
+	// drawn from (flip.ClassA/B/C).
+	Profile flip.Profile
+	// Tenants is the population size.
+	Tenants int
+	// Seed is the population seed; per-tenant seeds are mixed from it
+	// and the tenant index, so any single tenant can be replayed.
+	Seed int64
+	// Windows is each tenant's hammer budget in refresh windows.
+	Windows int
+}
+
+func (s Spec) validate() error {
+	if err := s.Profile.Validate(); err != nil {
+		return err
+	}
+	if s.Tenants < 1 {
+		return fmt.Errorf("cohort: population needs at least one tenant (got %d)", s.Tenants)
+	}
+	if s.Windows < 1 {
+		return fmt.Errorf("cohort: tenants need at least one refresh window (got %d)", s.Windows)
+	}
+	return nil
+}
+
+// Outcome is one tenant's result.
+type Outcome struct {
+	// Tenant is the population index; Seed the per-tenant seed its
+	// randomness derived from.
+	Tenant int
+	Seed   int64
+	// PeakPressure is the highest per-window activation pressure the
+	// sandwiched victim table row saw (0 when the layout sandwiches no
+	// victim row); Iterations counts the attacker's completed loads.
+	PeakPressure uint64
+	Iterations   uint64
+	// TableFlips counts disturbance flips that landed in the victim
+	// tenant's table frames.
+	TableFlips int
+	// Breached reports that at least one premapped victim page now
+	// resolves to a different in-memory frame — the isolation breach.
+	Breached bool
+	// Diluted reports the tenant never pressured a victim table row to
+	// the hammer threshold, whether because co-tenant traffic slowed
+	// the attacker down or because the layout exposes no victim row.
+	Diluted bool
+}
+
+// Population is the merged statistics of one Spec's run.
+type Population struct {
+	Class   string
+	Layout  machine.TableLayout
+	Tenants int
+	// Breached/Diluted count tenants; TableFlips sums flips in victim
+	// table frames across the population.
+	Breached   int
+	Diluted    int
+	TableFlips int
+	// MeanPeakPressure and MaxPeakPressure summarise the per-tenant
+	// peak pressures (integer mean, so reports stay byte-stable).
+	MeanPeakPressure uint64
+	MaxPeakPressure  uint64
+	// MeanIterations is the integer mean of attacker iterations.
+	MeanIterations uint64
+}
+
+// perMillion scales a tenant count to a rate per 10⁶ tenants in
+// integer arithmetic.
+func (p Population) perMillion(n int) uint64 {
+	if p.Tenants == 0 {
+		return 0
+	}
+	return uint64(n) * 1_000_000 / uint64(p.Tenants)
+}
+
+// BreachedPerM returns the breach rate per 10⁶ tenants.
+func (p Population) BreachedPerM() uint64 { return p.perMillion(p.Breached) }
+
+// DilutedPerM returns the dilution rate per 10⁶ tenants.
+func (p Population) DilutedPerM() uint64 { return p.perMillion(p.Diluted) }
+
+// TableFlipsPerM returns victim-table flips per 10⁶ tenants.
+func (p Population) TableFlipsPerM() uint64 { return p.perMillion(p.TableFlips) }
+
+// unit is one slot of the pool: a two-core machine (core 0 the
+// attacker tenant, core 1 the victim tenant) plus its once-constructed
+// flip model, recycled for every tenant scheduled onto it.
+type unit struct {
+	mm       *machine.MultiMachine
+	model    *flip.Model
+	attacker *machine.Machine
+	victim   *machine.Machine
+	geo      geometry
+
+	// Per-tenant slice state.
+	out   Outcome
+	jit   uint64
+	level uint64
+}
+
+// Pool is a bounded set of units tenants are time-sliced over. All
+// units are identical, so a population's outcomes are a pure function
+// of the Spec and the pool's layout — never of its size.
+type Pool struct {
+	layout machine.TableLayout
+	units  []*unit
+}
+
+// NewPool builds a pool of frontEnds/2 attacker/victim units (each
+// unit consumes two core front-ends) with the given table striping.
+// frontEnds must be at least 2; odd counts round down.
+func NewPool(frontEnds int, layout machine.TableLayout) (*Pool, error) {
+	if frontEnds < 2 {
+		return nil, fmt.Errorf("cohort: a pool needs at least 2 front-ends (got %d)", frontEnds)
+	}
+	p := &Pool{layout: layout}
+	for k := 0; k < frontEnds/2; k++ {
+		model, err := flip.NewModel(flip.ClassA(), 0)
+		if err != nil {
+			return nil, err
+		}
+		mm, err := machine.NewMulti(machine.MultiConfig{
+			Config:  tenantConfig(model),
+			Cores:   2,
+			Tenants: []int{0, 1},
+			Layout:  layout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.units = append(p.units, &unit{
+			mm:       mm,
+			model:    model,
+			attacker: mm.Core(0),
+			victim:   mm.Core(1),
+		})
+	}
+	// Probe the tenant geometry once on a scratch tenant: every tenant
+	// of every unit performs the identical setup, so the pair rows and
+	// address sets are population invariants.
+	u := p.units[0]
+	setupTenant(u.mm)
+	geo, err := probeGeometry(u.mm)
+	if err != nil {
+		return nil, err
+	}
+	u.mm.Reset()
+	for _, u := range p.units {
+		u.geo = geo
+	}
+	return p, nil
+}
+
+// Units returns how many tenant slots a slice runs concurrently.
+func (p *Pool) Units() int { return len(p.units) }
+
+// FrontEnds returns how many core front-ends the pool drives.
+func (p *Pool) FrontEnds() int { return 2 * len(p.units) }
+
+// Layout returns the table striping the pool's machines were built
+// with.
+func (p *Pool) Layout() machine.TableLayout { return p.layout }
+
+// Sandwiched reports whether the pool's layout exposes a victim table
+// row between the attacker's aggressor rows.
+func (p *Pool) Sandwiched() bool { return p.units[0].geo.sandwiched }
+
+// tenantSeed mixes the population seed and tenant index through
+// splitmix64, so per-tenant randomness is reproducible in isolation.
+func tenantSeed(pop int64, tenant int) int64 {
+	z := uint64(pop) + (uint64(tenant)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// nextJitter advances the unit's per-tenant jitter stream (splitmix64
+// over a counter seeded from the tenant seed).
+func (u *unit) nextJitter() uint64 {
+	u.jit += 0x9E3779B97F4A7C15
+	z := u.jit
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// prepare recycles the unit for one tenant: machine Reset, flip model
+// re-stamped to the population's class and the tenant's seed, the
+// deterministic setup, clock alignment, and a fresh refresh window.
+func (u *unit) prepare(spec Spec, tenant int) error {
+	seed := tenantSeed(spec.Seed, tenant)
+	u.mm.Reset()
+	if err := u.model.ResetTo(spec.Profile, seed); err != nil {
+		return err
+	}
+	setupTenant(u.mm)
+	alignTenant(u.mm)
+	u.out = Outcome{Tenant: tenant, Seed: seed}
+	u.jit = uint64(seed)
+	// The tenant's victim-intensity level is the jitter stream's first
+	// draw: how memory-hungry this tenant's co-resident victim is.
+	u.level = u.nextJitter() % victimLevels
+	return nil
+}
+
+// collect finishes one tenant's slice: count the flips that landed in
+// victim table frames, scan the sprayed surface for breached
+// translations (only when a table flip makes one possible), and judge
+// dilution against the hammer threshold.
+func (u *unit) collect() Outcome {
+	victimFrames := u.mm.Tables(1).Frames()
+	owns := func(f phys.Frame) bool {
+		for _, vf := range victimFrames {
+			if vf == f {
+				return true
+			}
+		}
+		return false
+	}
+	for _, fl := range u.model.Flips() {
+		if owns(phys.FrameOf(fl.Addr)) {
+			u.out.TableFlips++
+		}
+	}
+	if u.out.TableFlips > 0 {
+		tables := u.mm.Tables(1)
+		for _, va := range u.geo.spray {
+			if f, ok := tables.Resolve(va); ok && f != phys.FrameOf(va) {
+				u.out.Breached = true
+				break
+			}
+		}
+	}
+	u.out.Diluted = u.out.PeakPressure < u.mm.Config().DRAM.HammerThreshold
+	return u.out
+}
+
+// RunDetailed pushes a population through the pool and returns both
+// the merged statistics and every tenant's outcome, in tenant order.
+// Tenants are scheduled in index order, len(units) per slice; each
+// slice's active cores run under one deterministic interleaver.
+func (p *Pool) RunDetailed(spec Spec) (Population, []Outcome, error) {
+	if err := spec.validate(); err != nil {
+		return Population{}, nil, err
+	}
+	budget := timing.Cycles(spec.Windows) * tenantWindow
+	outs := make([]Outcome, 0, spec.Tenants)
+	for base := 0; base < spec.Tenants; base += len(p.units) {
+		active := min(len(p.units), spec.Tenants-base)
+		streams := make([]core.Stream, 0, 2*active)
+		for k := 0; k < active; k++ {
+			u := p.units[k]
+			if err := u.prepare(spec, base+k); err != nil {
+				return Population{}, nil, err
+			}
+			streams = append(streams,
+				core.Stream{Now: u.attacker.Clock().Now, Run: u.attackerBody(budget)},
+				core.Stream{Now: u.victim.Clock().Now, Run: u.victimBody(budget)},
+			)
+		}
+		core.Run(streams)
+		for k := 0; k < active; k++ {
+			outs = append(outs, p.units[k].collect())
+		}
+	}
+	return merge(spec, p.layout, outs), outs, nil
+}
+
+// Run is RunDetailed without the per-tenant outcomes.
+func (p *Pool) Run(spec Spec) (Population, error) {
+	pop, _, err := p.RunDetailed(spec)
+	return pop, err
+}
+
+// merge folds per-tenant outcomes into population statistics.
+func merge(spec Spec, layout machine.TableLayout, outs []Outcome) Population {
+	pop := Population{
+		Class:   spec.Profile.Name,
+		Layout:  layout,
+		Tenants: len(outs),
+	}
+	var pressureSum, iterSum uint64
+	for _, o := range outs {
+		if o.Breached {
+			pop.Breached++
+		}
+		if o.Diluted {
+			pop.Diluted++
+		}
+		pop.TableFlips += o.TableFlips
+		pressureSum += o.PeakPressure
+		iterSum += o.Iterations
+		if o.PeakPressure > pop.MaxPeakPressure {
+			pop.MaxPeakPressure = o.PeakPressure
+		}
+	}
+	if n := uint64(len(outs)); n > 0 {
+		pop.MeanPeakPressure = pressureSum / n
+		pop.MeanIterations = iterSum / n
+	}
+	return pop
+}

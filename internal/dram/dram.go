@@ -484,6 +484,38 @@ func (p *Port) ResetWindow() {
 	}
 }
 
+// Reset recycles the device for the next cohort (the Reset/Recycle
+// contract): everything ResetWindow discards, plus the cross-window
+// state a fresh device starts with — per-bank lastCore arbitration
+// bookkeeping back to -1, so the first access of the next cohort pays
+// no stale cross-core bank-arbitration charge. The window hook stays
+// subscribed (the flip model is recycled separately, not re-bound).
+//
+// Cost is O(banks + touched rows), never O(rows): stale per-row ACT
+// counts are invalidated by the epoch bump exactly as on a window
+// rotation, not scrubbed. The dram-recycle-reset bench scenario pins
+// this — a recycle that walks the row arrays would regress it by
+// orders of magnitude on a large-geometry module.
+func (d *DRAM) Reset() { d.def.Reset() }
+
+// Reset is DRAM.Reset anchored at this port's clock: the recycled
+// device's first window starts at the resetting core's current cycle
+// reading (a machine recycle rebases that clock to 0 first, matching a
+// fresh device's construction-time anchor).
+//
+//pthammer:noalloc
+func (p *Port) Reset() {
+	d := p.d
+	d.windowStart = p.clock.Now()
+	d.windowEpoch++
+	for i := range d.banks {
+		b := &d.banks[i]
+		b.openRow = -1
+		b.lastCore = -1
+		b.touched = b.touched[:0]
+	}
+}
+
 // actsOf returns the current-window activation count of a row, reading
 // stale epochs as zero.
 func (b *bank) actsOf(row, epoch uint64) uint64 {

@@ -1,0 +1,167 @@
+package dram
+
+import (
+	"testing"
+
+	"pthammer/internal/mem"
+	"pthammer/internal/perf"
+	"pthammer/internal/timing"
+)
+
+// TestRecycleResetClearsArbitration pins the difference between a
+// window discard and a full recycle: ResetWindow deliberately keeps
+// per-bank lastCore (the scheduler state survives a refresh), but
+// Reset must return it to the fresh-device -1, so the first access of
+// the next cohort pays no stale cross-core bank-arbitration charge.
+func TestRecycleResetClearsArbitration(t *testing.T) {
+	lat := timing.DefaultLatencies()
+	build := func() (*DRAM, *Port, *Port) {
+		d, _, _ := newTestDRAM(t, testConfig())
+		c1 := timing.MustNewClock(1_000_000_000)
+		p1, err := d.NewPort(1, c1, &perf.Counters{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, d.def, p1
+	}
+	addr := testConfig().AddrOf(Location{Row: 2})
+
+	// Reference: on a fresh device the very first access is a plain
+	// closed-row activation, no arbitration.
+	d, p0, p1 := build()
+	if got := p0.Lookup(mem.Access{Addr: addr}).Latency; got != lat.DRAMRowClosed {
+		t.Fatalf("fresh first access latency = %d, want %d", got, lat.DRAMRowClosed)
+	}
+	// Hand the bank to core 1 so lastCore is non-zero state to leak.
+	if got := p1.Lookup(mem.Access{Addr: addr}).Latency; got != lat.DRAMRowHit+lat.DRAMBankArbitration {
+		t.Fatalf("cross-core hit latency = %d, want %d", got, lat.DRAMRowHit+lat.DRAMBankArbitration)
+	}
+
+	// After a window discard the arbitration state survives: core 0
+	// re-entering the bank still pays for displacing core 1.
+	p0.ResetWindow()
+	if got := p0.Lookup(mem.Access{Addr: addr}).Latency; got != lat.DRAMRowClosed+lat.DRAMBankArbitration {
+		t.Fatalf("post-ResetWindow cross-core latency = %d, want %d", got, lat.DRAMRowClosed+lat.DRAMBankArbitration)
+	}
+
+	// After a recycle it must not: the first access matches the fresh
+	// device's, whichever core issues it.
+	p1.Lookup(mem.Access{Addr: addr})
+	p0.Reset()
+	if got := p0.Lookup(mem.Access{Addr: addr}).Latency; got != lat.DRAMRowClosed {
+		t.Errorf("post-Reset first access latency = %d, want fresh-device %d", got, lat.DRAMRowClosed)
+	}
+	_ = d
+}
+
+// TestDeviceResetDelegatesToDefaultPort pins the device-level recycle
+// entry point: DRAM.Reset anchors the rewind at the default port's
+// clock, so single-core consumers recycling through the device handle
+// get the same fresh-device state as a port-level Reset.
+func TestDeviceResetDelegatesToDefaultPort(t *testing.T) {
+	lat := timing.DefaultLatencies()
+	d, _, _ := newTestDRAM(t, testConfig())
+	addr := testConfig().AddrOf(Location{Row: 2})
+
+	for i := 0; i < 3; i++ {
+		d.Lookup(mem.Access{Addr: addr})
+	}
+	d.Reset()
+	if got := d.Activations(Location{Row: 2}); got != 0 {
+		t.Errorf("activations after device Reset = %d, want 0", got)
+	}
+	if got := d.Lookup(mem.Access{Addr: addr}).Latency; got != lat.DRAMRowClosed {
+		t.Errorf("post device-Reset first access latency = %d, want fresh-device %d", got, lat.DRAMRowClosed)
+	}
+}
+
+// TestRecycleResetIsEpochLazy pins the O(banks + touched) cost model's
+// correctness half: Reset invalidates stale per-row ACT counts by
+// epoch bump, not by scrubbing, and those stale counts must read as
+// zero and restart from one on the next activation.
+func TestRecycleResetIsEpochLazy(t *testing.T) {
+	d, _, _ := newTestDRAM(t, testConfig())
+	p := d.def
+	cfg := testConfig()
+	a := cfg.AddrOf(Location{Row: 4})
+	b := cfg.AddrOf(Location{Row: 6})
+	for i := 0; i < 5; i++ {
+		p.Lookup(mem.Access{Addr: a})
+		p.Lookup(mem.Access{Addr: b})
+	}
+	if got := p.Activations(Location{Row: 4}); got != 5 {
+		t.Fatalf("pre-recycle activations = %d, want 5", got)
+	}
+
+	p.Reset()
+	if got := p.Activations(Location{Row: 4}); got != 0 {
+		t.Errorf("stale activations visible after recycle: %d", got)
+	}
+	if st := p.HammerStats(); st.Activations != 0 || len(st.Victims) != 0 {
+		t.Errorf("stats leaked across recycle: %+v", st)
+	}
+	p.Lookup(mem.Access{Addr: a})
+	if got := p.Activations(Location{Row: 4}); got != 1 {
+		t.Errorf("post-recycle activation count = %d, want 1", got)
+	}
+}
+
+// TestRecycleResetNoAlloc pins the alloc half of the satellite: a
+// recycle on a large-geometry module with a realistic touched set must
+// not allocate — cohort turnover calls this once per slice.
+func TestRecycleResetNoAlloc(t *testing.T) {
+	cfg := Config{
+		Channels: 1, RanksPerChannel: 1, BanksPerRank: 8,
+		Rows: 1 << 16, RowBytes: 8192,
+		HammerThreshold: 100,
+	}
+	clock := timing.MustNewClock(1_000_000_000)
+	d, err := New(cfg, clock, &perf.Counters{}, timing.DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.def
+	touch := func() {
+		for r := uint64(0); r < 64; r++ {
+			p.Lookup(mem.Access{Addr: cfg.AddrOf(Location{Row: r * 11})})
+		}
+	}
+	touch() // warm the touched-slice capacity once
+	if avg := testing.AllocsPerRun(100, func() {
+		touch()
+		p.Reset()
+	}); avg != 0 {
+		t.Errorf("recycle reset allocates: %v allocs/op", avg)
+	}
+}
+
+// BenchmarkRecycleReset is the satellite-6 regression pin behind the
+// dram-recycle-reset bench scenario: on a 2^16-row module with ~64
+// touched rows, a recycle must stay O(banks + touched). An
+// implementation that scrubs the per-row acts/epoch arrays would be
+// three orders of magnitude slower here and trip the bench gate.
+func BenchmarkRecycleReset(b *testing.B) {
+	cfg := Config{
+		Channels: 1, RanksPerChannel: 1, BanksPerRank: 8,
+		Rows: 1 << 16, RowBytes: 8192,
+		HammerThreshold: 100,
+	}
+	clock := timing.MustNewClock(1_000_000_000)
+	d, err := New(cfg, clock, &perf.Counters{}, timing.DefaultLatencies())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := d.def
+	addrs := make([]mem.Access, 64)
+	for r := range addrs {
+		addrs[r] = mem.Access{Addr: cfg.AddrOf(Location{Row: uint64(r) * 11})}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range addrs {
+			p.Lookup(a)
+		}
+		p.Reset()
+	}
+}

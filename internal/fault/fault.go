@@ -262,6 +262,23 @@ func (m *Model) Bind(geom dram.Config) error {
 	return nil
 }
 
+// Reset recycles the model for the next cohort on the same machine
+// (the Reset/Recycle contract): the random stream, the fault counters,
+// the decay-burst bookkeeping and — critically — the pair-invalidate
+// arming all rewind to the just-built state, while the geometry
+// binding stays. A fault armed by one cohort's flips can therefore
+// never fire into the next cohort: the armed row, its trigger window
+// and the window counter are all cleared, and a recycled model behaves
+// bit-identically to a fresh NewModel(cfg).
+func (m *Model) Reset() {
+	m.rng.Seed(m.cfg.Seed)
+	m.stats = Stats{}
+	m.primes, m.inBurst = 0, false
+	m.armed = false
+	m.armedChannel, m.armedRank, m.armedBank = 0, 0, 0
+	m.armedRow, m.armedAtWindow, m.currentWindow = 0, 0, 0
+}
+
 // PrimeStart is the machine's pre-Prime hook: it advances the decay
 // burst cycle and returns the rotation offset the stream should start
 // from (0 outside bursts — the stream walks in build order). n is the

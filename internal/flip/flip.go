@@ -303,10 +303,37 @@ func (m *Model) OnWindow(s dram.Stats) {
 	}
 }
 
+// Reset recycles the model for the next cohort on the same machine
+// (the Reset/Recycle contract): the flip record, the window and
+// attempt/miss accounting and the random stream all rewind to the
+// just-built state, while the memory binding and any injector stay
+// attached. A recycled model therefore produces bit-identical flips to
+// a fresh NewModel(profile, seed) fed the same victim reports. Reset
+// truncates the flip record in place, so slices previously returned by
+// Flips are invalidated — copy them out before recycling.
+func (m *Model) Reset() {
+	m.rng.Seed(m.seed)
+	m.flips = m.flips[:0]
+	m.windows, m.attempts, m.misses = 0, 0, 0
+}
+
+// ResetTo is Reset with a new identity: the recycled model behaves as
+// if freshly built with NewModel(p, seed). The cohort scheduler uses
+// this to re-stamp one bound model per tenant (per-tenant seeds,
+// per-population module class) without re-binding anything.
+func (m *Model) ResetTo(p Profile, seed int64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	m.profile, m.seed = p, seed
+	m.Reset()
+	return nil
+}
+
 // Flips returns every disturbance error the model has produced, in
 // occurrence order. The slice is the model's own record: callers must
-// not mutate it. Len(Flips()) monotonically grows; the escalation
-// demo polls it to notice new damage.
+// not mutate it. Len(Flips()) monotonically grows between resets; the
+// escalation demo polls it to notice new damage.
 func (m *Model) Flips() []Flip { return m.flips }
 
 // Windows returns how many end-of-window victim reports the model has

@@ -538,6 +538,86 @@ func (m *Machine) HammerStats() dram.Stats { return m.dport.HammerStats() }
 //pthammer:noalloc
 func (m *Machine) ResetRefreshWindow() { m.dport.ResetWindow() }
 
+// resetFrontEnd rewinds this core's private state to construction
+// time: clock rebased to cycle 0, PMC bank cleared, noise stream
+// reseeded, TLB levels and paging-structure caches and private L1/L2
+// emptied, privileged-operation counters zeroed. Shared state (LLC,
+// DRAM, physical memory, page tables, models) is deliberately not
+// touched — on a multi-core machine it must be reset exactly once, by
+// the owner of the whole machine.
+func (m *Machine) resetFrontEnd() {
+	m.clock.Reset()
+	m.counters.Reset()
+	m.noise.Reset()
+	m.tlb.Reset()
+	m.walker.Reset()
+	m.caches.Reset()
+	m.privFlushes, m.privInvlpgs = 0, 0
+}
+
+// resetShared rewinds the memory system this machine fronts: the
+// shared LLC, the DRAM device (window, per-row ACT epochs, bank
+// arbitration), physical memory (all frames back to holes), and the
+// page-table pool (scrubbed, re-bump-allocatable, fresh root). Order
+// matters: the DRAM reset anchors its new window at this core's
+// already-rebased clock, and memory is reset before the tables so the
+// re-allocated root is the only frame the recycled machine
+// materializes — exactly what a fresh construction materializes.
+func (m *Machine) resetShared() {
+	m.caches.Shared().Reset()
+	m.dport.Reset()
+	m.mem.Reset()
+	m.tables.Reset()
+}
+
+// Reset recycles a single-core machine under the Reset/Recycle
+// contract (CONTRIBUTING.md): after Reset, the machine is
+// observationally identical to a freshly constructed machine.New(cfg)
+// — same clock base, counters, cache/TLB/walker state, DRAM window
+// bookkeeping, hole-only memory, one-root page tables, and rewound
+// flip/fault models (still bound, streams reseeded). The
+// reset-equivalence difftest in machine_reset_test.go pins the
+// contract: recycled and fresh machines produce bit-identical
+// Clock/PMC/HammerStats/Flips traces for the same workload.
+//
+// Reset is for machines that own their whole memory system (built with
+// New). Cores of a MultiMachine share theirs; recycle those with
+// MultiMachine.Reset instead.
+func (m *Machine) Reset() {
+	m.resetFrontEnd()
+	m.resetShared()
+	if m.cfg.FlipModel != nil {
+		m.cfg.FlipModel.Reset()
+	}
+	if m.cfg.FaultModel != nil {
+		m.cfg.FaultModel.Reset()
+	}
+}
+
+// ResetWithModels is Reset with a model swap: the machine recycles as
+// in Reset, but binds the given freshly built (never-bound) flip and
+// fault models in place of the old ones, exactly as construction would
+// have. Either may be nil. The escalation machine pool uses this: each
+// RunEscalationResilient call brings its own (profile, seed)-stamped
+// models to a recycled machine instead of constructing a whole new
+// one. On error the machine's models are in an undefined state; do not
+// reuse it without a successful rebind.
+func (m *Machine) ResetWithModels(fm *flip.Model, fam *fault.Model) error {
+	m.resetFrontEnd()
+	m.resetShared()
+	cfg := m.cfg
+	cfg.FlipModel, cfg.FaultModel = fm, fam
+	// bindModels only installs a hook when a flip model is present, so
+	// drop the old subscription first: a nil fm must leave no hook.
+	m.dram.SetWindowHook(nil)
+	if err := bindModels(cfg, m.mem, m.dram); err != nil {
+		return err
+	}
+	m.cfg = cfg
+	m.faulty = fam != nil
+	return nil
+}
+
 // Flips returns the disturbance errors the configured flip model has
 // produced so far, in occurrence order, or nil when the machine was
 // built without a FlipModel. The slice is the model's own record:

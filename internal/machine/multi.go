@@ -37,6 +37,40 @@ type MultiConfig struct {
 	// one row away (PAPER.md §II's threat model, which the single-core
 	// machine cannot express).
 	Tenants []int
+
+	// Layout selects how the reserved table rows are divided among
+	// tenants; the zero value is the interleaved striping described
+	// above.
+	Layout TableLayout
+}
+
+// TableLayout selects the physical placement of per-tenant page-table
+// pools within the reserved rows at the top of memory.
+type TableLayout int
+
+const (
+	// LayoutInterleaved stripes tenants mod T across row indices, so
+	// different tenants' tables sit in physically adjacent rows — the
+	// cross-tenant attack surface.
+	LayoutInterleaved TableLayout = iota
+	// LayoutBlocked gives each tenant a contiguous block of row
+	// indices, so a tenant's rows neighbour its own tables (and at most
+	// one row of one other tenant at each block boundary) — the
+	// defensive placement the population tables contrast against
+	// interleaved striping.
+	LayoutBlocked
+)
+
+// String returns the layout's table-cell name.
+func (l TableLayout) String() string {
+	switch l {
+	case LayoutInterleaved:
+		return "interleaved"
+	case LayoutBlocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
 }
 
 // MultiMachine is Cores front-ends over one shared memory system. Each
@@ -85,12 +119,12 @@ func tenantCount(cores int, tenants []int) (int, error) {
 }
 
 // tenantPools carves the top of physical memory into per-tenant
-// page-table pools striped across DRAM row indices: with T tenants,
-// tenant t owns the row indices congruent to t (mod T) within the
-// reserved region, each row index spanning one row of every bank. Each
-// pool holds at least FramesToMap frames, so no tenant can exhaust its
-// tables.
-func tenantPools(cfg Config, tenantN int) ([][]phys.Frame, error) {
+// page-table pools, each row index spanning one row of every bank and
+// each pool holding at least FramesToMap frames so no tenant can
+// exhaust its tables. LayoutInterleaved stripes the reserved rows mod
+// T (tenant t owns the row indices congruent to t); LayoutBlocked
+// hands tenant t the contiguous rows [start+t·R, start+(t+1)·R).
+func tenantPools(cfg Config, tenantN int, layout TableLayout) ([][]phys.Frame, error) {
 	rowSpan := uint64(cfg.DRAM.TotalBanks()) * cfg.DRAM.RowBytes
 	rowFrames := rowSpan / phys.FrameSize
 	framesPerTenant := pagetable.FramesToMap(cfg.MemBytes)
@@ -101,14 +135,28 @@ func tenantPools(cfg Config, tenantN int) ([][]phys.Frame, error) {
 		return nil, fmt.Errorf("machine: %d-byte memory too small for %d tenants × %d table rows",
 			cfg.MemBytes, tenantN, rowsPerTenant)
 	}
+	if layout != LayoutInterleaved && layout != LayoutBlocked {
+		return nil, fmt.Errorf("machine: unknown table layout %v", layout)
+	}
 	startRow := totalRows - reservedRows
 	pools := make([][]phys.Frame, tenantN)
 	for t := range pools {
 		pool := make([]phys.Frame, 0, rowsPerTenant*rowFrames)
-		for r := startRow + uint64(t); r < totalRows; r += uint64(tenantN) {
+		appendRow := func(r uint64) {
 			first := phys.Frame(r * rowFrames)
 			for k := uint64(0); k < rowFrames; k++ {
 				pool = append(pool, first+phys.Frame(k))
+			}
+		}
+		switch layout {
+		case LayoutInterleaved:
+			for r := startRow + uint64(t); r < totalRows; r += uint64(tenantN) {
+				appendRow(r)
+			}
+		case LayoutBlocked:
+			base := startRow + uint64(t)*rowsPerTenant
+			for r := base; r < base+rowsPerTenant; r++ {
+				appendRow(r)
 			}
 		}
 		pools[t] = pool
@@ -142,7 +190,7 @@ func NewMulti(cfg MultiConfig) (*MultiMachine, error) {
 	if err != nil {
 		return nil, err
 	}
-	pools, err := tenantPools(cfg.Config, tenantN)
+	pools, err := tenantPools(cfg.Config, tenantN, cfg.Layout)
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +275,34 @@ func (mm *MultiMachine) DRAM() *dram.DRAM { return mm.dram }
 
 // Config returns the configuration the machine was built with.
 func (mm *MultiMachine) Config() MultiConfig { return mm.cfg }
+
+// Reset recycles the whole multi-tenant machine under the
+// Reset/Recycle contract: every front-end rewinds (clock, PMC, noise,
+// TLB, walker, private caches, privileged-op counters), the shared LLC
+// and DRAM rewind once, physical memory returns to holes, every
+// tenant's table pool is recycled in place, and any bound flip/fault
+// models rewind their streams and records. After Reset the machine is
+// observationally identical to a fresh NewMulti(cfg) — the property
+// the cohort scheduler's pool-size determinism rests on. The DRAM's
+// new window is anchored at core 0's rebased clock, matching
+// construction.
+func (mm *MultiMachine) Reset() {
+	for _, c := range mm.cores {
+		c.resetFrontEnd()
+	}
+	mm.shared.Reset()
+	mm.cores[0].dport.Reset()
+	mm.mem.Reset()
+	for _, t := range mm.tables {
+		t.Reset()
+	}
+	if fm := mm.cfg.FlipModel; fm != nil {
+		fm.Reset()
+	}
+	if fam := mm.cfg.FaultModel; fam != nil {
+		fam.Reset()
+	}
+}
 
 // Run drives every core's body concurrently under the deterministic
 // interleaver: body(i, core i's front-end, yield) runs in its own

@@ -66,7 +66,7 @@ func TestNewMultiRejectsBadConfigs(t *testing.T) {
 // the other tenant's.
 func TestTenantPoolsStripeAdjacentRows(t *testing.T) {
 	cfg := SandyBridge()
-	pools, err := tenantPools(cfg, 2)
+	pools, err := tenantPools(cfg, 2, LayoutInterleaved)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,50 @@
+package machine
+
+import (
+	"testing"
+
+	"pthammer/internal/phys"
+)
+
+// TestPremapIdentityMapsRange pins the kernel-style pre-fault path:
+// Premap maps every page of the range eagerly (the PTE path exists
+// before any access touches it) and leaves pages beyond the range to
+// demand mapping.
+func TestPremapIdentityMapsRange(t *testing.T) {
+	m := MustNew(SandyBridge())
+	const pages = 4
+	if _, ok := m.PTEAddr(0, 1); ok {
+		t.Fatal("fresh machine already has page 0 mapped")
+	}
+
+	m.Premap(0, pages*phys.FrameSize)
+	for p := phys.Addr(0); p < pages; p++ {
+		if _, ok := m.PTEAddr(p*phys.FrameSize, 1); !ok {
+			t.Errorf("page %d not mapped after Premap", p)
+		}
+	}
+	// A page in the next 2 MiB region needs its own last-level table;
+	// Premap must not have built that path.
+	if _, ok := m.PTEAddr(2<<20, 1); ok {
+		t.Error("Premap built table paths beyond the requested range")
+	}
+}
+
+// TestTableLayoutString pins the table-cell names the population and
+// mt-* reports key their rows on — a renamed layout would silently
+// reshuffle committed tables.
+func TestTableLayoutString(t *testing.T) {
+	cases := []struct {
+		l    TableLayout
+		want string
+	}{
+		{LayoutInterleaved, "interleaved"},
+		{LayoutBlocked, "blocked"},
+		{TableLayout(9), "layout(9)"},
+	}
+	for _, c := range cases {
+		if got := c.l.String(); got != c.want {
+			t.Errorf("TableLayout(%d).String() = %q, want %q", int(c.l), got, c.want)
+		}
+	}
+}

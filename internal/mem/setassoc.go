@@ -145,6 +145,24 @@ func NewSetAssocTags(sets, ways int) *SetAssoc {
 	return s
 }
 
+// Reset restores the array to the state NewSetAssoc(Tags) leaves it
+// in: every set's LRU order, fingerprint lanes and live mask back to
+// the fresh values, tag (and payload) planes zeroed. Part of the
+// Reset/Recycle contract (CONTRIBUTING.md): a recycled array must be
+// indistinguishable from a freshly constructed one, so machine
+// recycling cannot leak one cohort's cache contents into the next.
+//
+//pthammer:noalloc
+func (s *SetAssoc) Reset() {
+	for i := range s.hdr {
+		s.hdr[i].order = orderInit
+		s.hdr[i].fp = [2]uint64{deadFP * lo8, deadFP * lo8}
+		s.hdr[i].live = 0
+	}
+	clear(s.tags)
+	clear(s.vals)
+}
+
 // fpBroadcast returns the tag's 8-bit fingerprint replicated into every
 // byte lane, ready for the SWAR match. A computed fingerprint of 0 maps
 // to 1, pinning tag 0's probe byte to 1 — the deadFP invariant relies

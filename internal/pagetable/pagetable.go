@@ -169,6 +169,22 @@ func (t *Tables) alloc() phys.Frame {
 	return f
 }
 
+// Reset recycles the address space: every handed-out table frame is
+// scrubbed (zeroed in place when materialized, left a hole when the
+// backing memory was reset first) and returned to the bump allocator,
+// then a fresh zeroed root is allocated — the pool is
+// re-bump-allocatable exactly as after NewWithFrames. Cost is
+// O(allocated frames); frames the previous tenant never allocated are
+// not visited. Part of the Reset/Recycle contract: no mapping, and no
+// flipped table bit, survives into the next cohort.
+func (t *Tables) Reset() {
+	for _, f := range t.pool[:t.next] {
+		t.mem.ScrubFrame(f)
+	}
+	t.next = 0
+	t.root = t.alloc()
+}
+
 // Root returns the root (CR3) table frame.
 //
 //pthammer:noalloc

@@ -198,6 +198,40 @@ func (m *Memory) ZeroFrame(f Frame) {
 	m.writes += FrameSize
 }
 
+// ScrubFrame zeroes frame f in place if it has been materialized,
+// counting the writes; a hole is left untouched. Recycling paths
+// (pagetable.Tables.Reset) use this instead of ZeroFrame so that
+// scrubbing a pool never materializes frames the simulation has not
+// defined — a hole already reads as zero, and materializing it would
+// silently change FlipBit's hole semantics for the next cohort.
+func (m *Memory) ScrubFrame(f Frame) {
+	fr := m.peek(f)
+	if fr == nil {
+		return
+	}
+	for i := range fr {
+		fr[i] = 0
+	}
+	m.writes += FrameSize
+}
+
+// Reset returns the memory to its just-built state: every materialized
+// frame is released back to hole status and the write/materialization
+// accounting rewinds to zero. Releasing (rather than zeroing in place)
+// is load-bearing for the Reset/Recycle contract: a freshly built
+// machine's memory is all holes, and FlipBit into a hole is a no-op
+// miss, so a recycled machine must present the same holes or its flip
+// model's attempt/miss accounting would diverge from a fresh one's.
+// Cost is one pointer store per frame (the hole fast path stays an
+// indexed load); the released contents are reclaimed by the host GC.
+func (m *Memory) Reset() {
+	if m.materialized != 0 {
+		clear(m.frames)
+	}
+	m.materialized = 0
+	m.writes = 0
+}
+
 // FlipBit inverts a single bit at physical address a. It returns the
 // new value of the bit and whether the flip was applied. This is the
 // DRAM disturbance-error entry point: it is the only mutation in the

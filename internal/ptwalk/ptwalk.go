@@ -182,6 +182,19 @@ func pscTag(va phys.Addr, level int) uint64 {
 	return uint64(va) >> (phys.FrameShift + pagetable.IndexBits*(level-1))
 }
 
+// Reset empties the paging-structure caches, as a recycled machine's
+// fresh address space requires (the Reset/Recycle contract): a stale
+// PDE/PDPTE/PML4E entry surviving into the next cohort would short-cut
+// walks into the previous tenant's recycled tables. The Tables pointer
+// itself stays — tables are recycled in place by pagetable.Reset.
+//
+//pthammer:noalloc
+func (w *Walker) Reset() {
+	for _, c := range w.psc {
+		c.Reset()
+	}
+}
+
 // Translate performs the hardware walk for the access and returns the
 // frame the leaf PTE maps va to. The reported latency is everything
 // the walk charged: an optional PS-cache hit, and per walked level the

@@ -1,0 +1,41 @@
+package timing
+
+import "testing"
+
+// TestClockReset pins the cycle-counter half of the Reset/Recycle
+// contract: a recycled machine's clock rebases to 0 so every latency
+// anchor (DRAM window start, refresh schedule) matches a fresh
+// device's construction-time reading.
+func TestClockReset(t *testing.T) {
+	c := MustNewClock(1_000_000_000)
+	c.Advance(12345)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Errorf("Now after Reset = %d, want 0", c.Now())
+	}
+	c.Advance(7)
+	if c.Now() != 7 {
+		t.Errorf("Now after Reset+Advance = %d, want 7", c.Now())
+	}
+}
+
+// TestNoiseResetReplays pins the jitter half: Reset reseeds the
+// generator from the stored seed, so a recycled machine's noise stream
+// replays the fresh machine's sample for sample — the property the
+// reset-equivalence difftest relies on to compare latencies exactly.
+func TestNoiseResetReplays(t *testing.T) {
+	n, err := NewNoise(42, 0.5, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make([]Cycles, 64)
+	for i := range first {
+		first[i] = n.Sample()
+	}
+	n.Reset()
+	for i := range first {
+		if got := n.Sample(); got != first[i] {
+			t.Fatalf("sample %d after Reset = %d, want %d", i, got, first[i])
+		}
+	}
+}

@@ -50,6 +50,14 @@ func (c *Clock) Now() Cycles { return c.now }
 //pthammer:noalloc
 func (c *Clock) Advance(n Cycles) { c.now += n }
 
+// Reset rebases the clock to cycle 0, the value a fresh NewClock
+// starts at. Part of the Reset/Recycle contract: a recycled machine's
+// phase timings are cycle deltas from zero, exactly as on a freshly
+// constructed one.
+//
+//pthammer:noalloc
+func (c *Clock) Reset() { c.now = 0 }
+
 // FreqHz returns the core frequency in Hz.
 func (c *Clock) FreqHz() uint64 { return c.freqHz }
 
@@ -170,6 +178,9 @@ func (t LatencyTable) Validate() error {
 // rate. Deterministic for a given seed.
 type Noise struct {
 	rng *rand.Rand
+	// seed rebuilt the stream on Reset; kept so a recycled source
+	// replays exactly the sequence a fresh NewNoise(seed, ...) would.
+	seed int64
 	// prob is the per-measurement probability of a spike, in [0,1).
 	prob float64
 	// minSpike/maxSpike bound the added cycles when a spike fires.
@@ -193,8 +204,15 @@ func NewNoise(seed int64, prob float64, minSpike, maxSpike Cycles) (*Noise, erro
 	if uint64(maxSpike-minSpike) == math.MaxUint64 {
 		return nil, fmt.Errorf("timing: spike range [%d, %d] spans the full uint64 domain", minSpike, maxSpike)
 	}
-	return &Noise{rng: rand.New(rand.NewSource(seed)), prob: prob, minSpike: minSpike, maxSpike: maxSpike}, nil
+	return &Noise{rng: rand.New(rand.NewSource(seed)), seed: seed, prob: prob, minSpike: minSpike, maxSpike: maxSpike}, nil
 }
+
+// Reset rewinds the spike stream to its seed, so a recycled noise
+// source produces the same sample sequence as a freshly constructed
+// one. Part of the Reset/Recycle contract.
+//
+//pthammer:noalloc
+func (n *Noise) Reset() { n.rng.Seed(n.seed) }
 
 // Quiet returns a noise source that never spikes.
 func Quiet() *Noise {

@@ -124,6 +124,17 @@ func (t *TLB) Translate(a mem.Access) (phys.Frame, mem.Result) {
 	return frame, mem.Result{Latency: res.Latency, Hit: false, Source: mem.LevelPageWalk}
 }
 
+// Reset empties both TLB levels, as a recycled machine's fresh address
+// space requires (the Reset/Recycle contract): a stale translation
+// surviving into the next cohort would resolve against the previous
+// tenant's recycled page tables.
+//
+//pthammer:noalloc
+func (t *TLB) Reset() {
+	t.l1.Reset()
+	t.l2.Reset()
+}
+
 // Invalidate drops the page's translation from both levels (the
 // simulated invlpg), reporting whether any level held it.
 //
